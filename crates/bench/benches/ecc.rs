@@ -1,0 +1,54 @@
+//! ECC throughput: the striping codec must keep up with the device's
+//! 79.6 MB/s streaming rate if the horizontal code runs on every access.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mems_os::fault::{ReedSolomon, StripeCodec};
+use std::hint::black_box;
+
+fn bench_rs(c: &mut Criterion) {
+    let rs = ReedSolomon::new(64, 8);
+    let data: Vec<u8> = (0..64).map(|i| (i * 37) as u8).collect();
+    c.bench_function("rs_encode_64_8", |b| {
+        b.iter(|| black_box(rs.encode(black_box(&data))))
+    });
+
+    let encoded = rs.encode(&data);
+    let mut clean: Vec<Option<u8>> = encoded.iter().copied().map(Some).collect();
+    c.bench_function("rs_decode_clean", |b| {
+        b.iter(|| black_box(rs.decode(black_box(&clean))))
+    });
+    for i in [1usize, 10, 20, 33, 47, 55, 60, 63] {
+        clean[i] = None;
+    }
+    c.bench_function("rs_decode_8_erasures", |b| {
+        b.iter(|| black_box(rs.decode(black_box(&clean))))
+    });
+}
+
+fn bench_stripe(c: &mut Criterion) {
+    let codec = StripeCodec::new(8);
+    let mut sector = [0u8; 512];
+    for (i, b) in sector.iter_mut().enumerate() {
+        *b = (i % 253) as u8;
+    }
+    let mut group = c.benchmark_group("stripe_codec");
+    group.throughput(Throughput::Bytes(512));
+    group.bench_function("encode_sector", |b| {
+        b.iter(|| black_box(codec.encode(black_box(&sector))))
+    });
+    let stripe = codec.encode(&sector);
+    group.bench_function("decode_clean_sector", |b| {
+        b.iter(|| black_box(codec.decode(black_box(&stripe))))
+    });
+    let mut damaged = stripe.clone();
+    for t in [5usize, 20, 40, 70] {
+        damaged[t].data = [0; 8];
+    }
+    group.bench_function("decode_4_lost_tips", |b| {
+        b.iter(|| black_box(codec.decode(black_box(&damaged))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rs, bench_stripe);
+criterion_main!(benches);

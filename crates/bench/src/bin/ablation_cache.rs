@@ -1,0 +1,101 @@
+//! Ablation: the on-device speed-matching buffer and readahead
+//! (§2.4.11).
+//!
+//! Sweeps the readahead cap on (a) a pure sequential stream, (b) the
+//! bursty Cello-like trace, and (c) a random workload — showing that
+//! readahead converts sequential misses into buffer hits at essentially
+//! no cost to random traffic.
+
+use mems_bench::{write_csv, Table};
+use mems_device::{MemsDevice, MemsParams};
+use mems_os::cache::CachedDevice;
+use storage_sim::{Driver, FifoScheduler, IoKind, Request, SimTime, VecWorkload};
+use storage_trace::{cello_for_capacity, TraceWorkload};
+
+fn sequential_workload(n: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            Request::new(
+                i,
+                SimTime::from_us(i as f64 * 500.0),
+                100_000 + i * 8,
+                8,
+                IoKind::Read,
+            )
+        })
+        .collect()
+}
+
+fn random_workload(n: u64, capacity: u64) -> Vec<Request> {
+    let mut lbn = 17u64;
+    (0..n)
+        .map(|i| {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(3)) % (capacity - 8);
+            Request::new(i, SimTime::from_us(i as f64 * 900.0), lbn, 8, IoKind::Read)
+        })
+        .collect()
+}
+
+fn main() {
+    let capacity = MemsParams::default().geometry().total_sectors();
+    let n = 4000u64;
+    println!("Ablation: device buffer readahead cap (4 MB buffer, 20 us hits)\n");
+    let mut table = Table::new(vec![
+        "readahead (sectors)".into(),
+        "sequential mean (ms)".into(),
+        "seq hit rate".into(),
+        "cello mean (ms)".into(),
+        "cello hit rate".into(),
+        "random mean (ms)".into(),
+    ]);
+    let mut csv = String::from("readahead,seq_ms,seq_hit,cello_ms,cello_hit,rand_ms\n");
+    for readahead in [0u32, 32, 128, 512, 2048] {
+        let make = || {
+            CachedDevice::new(
+                MemsDevice::new(MemsParams::default()),
+                8192,
+                readahead,
+                20e-6,
+            )
+        };
+        let mut d1 = Driver::new(
+            VecWorkload::new(sequential_workload(n)),
+            FifoScheduler::new(),
+            make(),
+        );
+        let r1 = d1.run();
+        let seq_ms = r1.mean_service_ms();
+        let seq_hit = d1.device().stats().hit_rate();
+
+        let trace = cello_for_capacity(capacity, n, 0xCACE);
+        let mut d2 = Driver::new(TraceWorkload::new(trace, 4.0), FifoScheduler::new(), make());
+        let r2 = d2.run();
+        let cello_ms = r2.mean_service_ms();
+        let cello_hit = d2.device().stats().hit_rate();
+
+        let mut d3 = Driver::new(
+            VecWorkload::new(random_workload(n, capacity)),
+            FifoScheduler::new(),
+            make(),
+        );
+        let r3 = d3.run();
+        let rand_ms = r3.mean_service_ms();
+
+        table.row(vec![
+            format!("{readahead}"),
+            format!("{seq_ms:.3}"),
+            format!("{:.1}%", seq_hit * 100.0),
+            format!("{cello_ms:.3}"),
+            format!("{:.1}%", cello_hit * 100.0),
+            format!("{rand_ms:.3}"),
+        ]);
+        csv.push_str(&format!(
+            "{readahead},{seq_ms:.4},{seq_hit:.4},{cello_ms:.4},{cello_hit:.4},{rand_ms:.4}\n"
+        ));
+    }
+    println!("{}", table.render());
+    write_csv("ablation_cache.csv", &csv);
+    println!("reading the table: readahead collapses sequential service times");
+    println!("toward the buffer hit cost, picks up the Cello trace's sequential");
+    println!("runs, and leaves random traffic untouched (§2.4.11).");
+}

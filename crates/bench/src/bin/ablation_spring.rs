@@ -1,0 +1,81 @@
+//! Ablation: how much does the spring factor matter?
+//!
+//! §5.1 attributes the subregion effect (and the turnaround-time spread)
+//! to the spring restoring force reaching 75% of the actuator force at
+//! full displacement. This sweep re-derives the device behaviour across
+//! spring factors from nearly-none to nearly-overpowering.
+
+use mems_bench::{write_csv, Table};
+use mems_device::{MemsDevice, MemsParams, SledState, SpringSled};
+use storage_sim::{IoKind, Request, SimTime};
+
+fn main() {
+    println!("Ablation: spring factor (paper default 0.75)\n");
+    let mut table = Table::new(vec![
+        "spring factor".into(),
+        "full stroke (ms)".into(),
+        "edge 5um seek (ms)".into(),
+        "center 5um seek (ms)".into(),
+        "turnaround min (ms)".into(),
+        "turnaround max (ms)".into(),
+        "rand 4KB svc (ms)".into(),
+    ]);
+    let mut csv =
+        String::from("spring,full_ms,edge5_ms,center5_ms,turn_min_ms,turn_max_ms,rand4k_ms\n");
+    for sf in [0.05, 0.25, 0.5, 0.75, 0.9] {
+        let params = MemsParams::default().with_spring_factor(sf);
+        let sled = SpringSled::from_spring_factor(params.accel, sf, params.half_mobility());
+        let full = sled.rest_seek_time(-50e-6, 50e-6);
+        let edge = sled.rest_seek_time(44e-6, 49e-6);
+        let center = sled.rest_seek_time(0.0, 5e-6);
+        let v = params.access_velocity();
+        let (mut tmin, mut tmax) = (f64::INFINITY, 0.0f64);
+        for i in 0..=100 {
+            let p = (i as f64 / 100.0 - 0.5) * params.mobility * 0.98;
+            for dir in [v, -v] {
+                let t = sled.turnaround_time(p, dir);
+                tmin = tmin.min(t);
+                tmax = tmax.max(t);
+            }
+        }
+        // Mean random 4 KB service time.
+        let dev = MemsDevice::new(params);
+        let mut sum = 0.0;
+        let mut lbn = 31u64;
+        let mut state = SledState::CENTERED;
+        let n = 3000;
+        for i in 0..n {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(17))
+                % (dev.geometry().total_sectors() - 8);
+            let req = Request::new(i, SimTime::ZERO, lbn, 8, IoKind::Read);
+            let (b, end) = dev.service_from(state, &req);
+            sum += b.total();
+            state = end;
+        }
+        let rand4k = sum / n as f64;
+        table.row(vec![
+            format!("{sf}"),
+            format!("{:.3}", full * 1e3),
+            format!("{:.3}", edge * 1e3),
+            format!("{:.3}", center * 1e3),
+            format!("{:.3}", tmin * 1e3),
+            format!("{:.3}", tmax * 1e3),
+            format!("{:.3}", rand4k * 1e3),
+        ]);
+        csv.push_str(&format!(
+            "{sf},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            full * 1e3,
+            edge * 1e3,
+            center * 1e3,
+            tmin * 1e3,
+            tmax * 1e3,
+            rand4k * 1e3
+        ));
+    }
+    println!("{}", table.render());
+    write_csv("ablation_spring.csv", &csv);
+    println!("reading the table: stiffer springs barely change full-stroke time");
+    println!("(the outbound drag cancels the inbound assist) but widen the");
+    println!("edge-vs-center gap and the turnaround spread — exactly the effects");
+    println!("the subregioned layout and Table 2's caption exploit.");
+}

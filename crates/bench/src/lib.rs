@@ -1,0 +1,13 @@
+//! Shared machinery for the experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library holds what they share: the scheduling-sweep runner,
+//! aligned-table printing, and CSV emission into `results/`.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod sweep;
+
+pub use report::{write_csv, Table};
+pub use sweep::{replicated_point, run_one, sched_sweep, ReplicatedPoint, SweepPoint};

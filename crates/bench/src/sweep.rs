@@ -1,0 +1,196 @@
+//! The scheduling-sweep runner behind Figs. 5–8.
+
+use mems_os::sched::Algorithm;
+use storage_sim::{Driver, SimReport, StorageDevice, Workload};
+
+/// One (algorithm, arrival-rate) measurement.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Algorithm label (paper name).
+    pub algorithm: &'static str,
+    /// Arrival rate in requests/second (or scale factor for traces).
+    pub rate: f64,
+    /// Mean response time, milliseconds.
+    pub mean_response_ms: f64,
+    /// Squared coefficient of variation of response time.
+    pub cv2: f64,
+    /// Mean service time, milliseconds.
+    pub mean_service_ms: f64,
+    /// Largest queue depth observed.
+    pub max_queue: usize,
+}
+
+/// Runs one workload through one scheduler and device.
+pub fn run_one<W, D>(workload: W, algorithm: Algorithm, device: D, warmup: u64) -> SimReport
+where
+    W: Workload,
+    D: StorageDevice,
+{
+    // `Driver` is generic over the scheduler type, so route through the
+    // boxed trait object the Algorithm factory returns.
+    let scheduler = algorithm.build();
+    let mut driver = Driver::new(workload, scheduler, device).warmup_requests(warmup);
+    driver.run()
+}
+
+/// Sweeps every algorithm over a set of rates. `make_workload(rate)` and
+/// `make_device()` produce a fresh workload/device per run so runs are
+/// independent and deterministic.
+pub fn sched_sweep<W, D>(
+    rates: &[f64],
+    algorithms: &[Algorithm],
+    mut make_workload: impl FnMut(f64) -> W,
+    mut make_device: impl FnMut() -> D,
+    warmup: u64,
+) -> Vec<SweepPoint>
+where
+    W: Workload,
+    D: StorageDevice,
+{
+    let mut points = Vec::with_capacity(rates.len() * algorithms.len());
+    for &alg in algorithms {
+        for &rate in rates {
+            let report = run_one(make_workload(rate), alg, make_device(), warmup);
+            points.push(SweepPoint {
+                algorithm: alg.label(),
+                rate,
+                mean_response_ms: report.response.mean_ms(),
+                cv2: report.response.sq_coeff_var(),
+                mean_service_ms: report.mean_service_ms(),
+                max_queue: report.max_queue_depth,
+            });
+        }
+    }
+    points
+}
+
+/// A measurement replicated over several workload seeds.
+#[derive(Debug, Clone)]
+pub struct ReplicatedPoint {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Arrival rate (requests/second).
+    pub rate: f64,
+    /// Mean of the per-seed mean response times, milliseconds.
+    pub mean_ms: f64,
+    /// Standard error of that mean, milliseconds.
+    pub stderr_ms: f64,
+    /// Number of replicas.
+    pub replicas: usize,
+}
+
+impl ReplicatedPoint {
+    /// Half-width of the ~95% confidence interval (1.96 standard errors).
+    pub fn ci95_ms(&self) -> f64 {
+        1.96 * self.stderr_ms
+    }
+}
+
+/// Runs one (algorithm, rate) cell over several seeds and reports the
+/// mean response time with its standard error — for checking that a
+/// figure's conclusions aren't artifacts of a single workload draw.
+pub fn replicated_point<W, D>(
+    rate: f64,
+    algorithm: Algorithm,
+    seeds: &[u64],
+    mut make_workload: impl FnMut(f64, u64) -> W,
+    mut make_device: impl FnMut() -> D,
+    warmup: u64,
+) -> ReplicatedPoint
+where
+    W: Workload,
+    D: StorageDevice,
+{
+    assert!(!seeds.is_empty(), "need at least one replica");
+    let means: Vec<f64> = seeds
+        .iter()
+        .map(|&seed| {
+            run_one(make_workload(rate, seed), algorithm, make_device(), warmup)
+                .response
+                .mean_ms()
+        })
+        .collect();
+    let n = means.len() as f64;
+    let mean = means.iter().sum::<f64>() / n;
+    let stderr = if means.len() > 1 {
+        let var = means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (var / n).sqrt()
+    } else {
+        0.0
+    };
+    ReplicatedPoint {
+        algorithm: algorithm.label(),
+        rate,
+        mean_ms: mean,
+        stderr_ms: stderr,
+        replicas: seeds.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mems_device::{MemsDevice, MemsParams};
+    use storage_trace::RandomWorkload;
+
+    #[test]
+    fn replication_reports_tight_intervals_at_low_load() {
+        let point = replicated_point(
+            300.0,
+            Algorithm::Clook,
+            &[1, 2, 3, 4, 5],
+            |rate, seed| RandomWorkload::paper(6_750_000, rate, 1500, seed),
+            || MemsDevice::new(MemsParams::default()),
+            100,
+        );
+        assert_eq!(point.replicas, 5);
+        assert!(point.mean_ms > 0.5);
+        // At 300 req/s the system is far from saturation: seeds agree to
+        // within a few percent.
+        assert!(
+            point.ci95_ms() < 0.1 * point.mean_ms,
+            "ci {} vs mean {}",
+            point.ci95_ms(),
+            point.mean_ms
+        );
+    }
+
+    #[test]
+    fn single_replica_has_zero_stderr() {
+        let point = replicated_point(
+            200.0,
+            Algorithm::Fcfs,
+            &[7],
+            |rate, seed| RandomWorkload::paper(6_750_000, rate, 300, seed),
+            || MemsDevice::new(MemsParams::default()),
+            0,
+        );
+        assert_eq!(point.stderr_ms, 0.0);
+    }
+
+    #[test]
+    fn sweep_produces_a_point_per_cell() {
+        let rates = [100.0, 500.0];
+        let points = sched_sweep(
+            &rates,
+            &Algorithm::ALL,
+            |rate| RandomWorkload::paper(6_750_000, rate, 300, 42),
+            || MemsDevice::new(MemsParams::default()),
+            0,
+        );
+        assert_eq!(points.len(), 8);
+        assert!(points.iter().all(|p| p.mean_response_ms > 0.0));
+    }
+
+    #[test]
+    fn higher_load_increases_response_time() {
+        let points = sched_sweep(
+            &[200.0, 1800.0],
+            &[Algorithm::Fcfs],
+            |rate| RandomWorkload::paper(6_750_000, rate, 2000, 7),
+            || MemsDevice::new(MemsParams::default()),
+            0,
+        );
+        assert!(points[1].mean_response_ms > points[0].mean_response_ms);
+    }
+}

@@ -1,0 +1,247 @@
+//! A sector-granular LRU set.
+//!
+//! Device buffers track which sectors are resident; this implementation
+//! keeps an intrusive doubly-linked recency list over a hash map, giving
+//! O(1) `contains`, `insert`, `touch`, and eviction.
+
+use std::collections::HashMap;
+
+/// Fixed-capacity LRU set of sector numbers.
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::cache::LruCache;
+///
+/// let mut c = LruCache::new(2);
+/// c.insert(1);
+/// c.insert(2);
+/// c.insert(3); // evicts 1
+/// assert!(!c.contains(1));
+/// assert!(c.contains(2) && c.contains(3));
+/// ```
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// sector → node index in `nodes`.
+    map: HashMap<u64, usize>,
+    /// Arena of list nodes; `free` chains recycled slots.
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most-recently-used node, if any.
+    head: Option<usize>,
+    /// Least-recently-used node, if any.
+    tail: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    sector: u64,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache needs capacity");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+        }
+    }
+
+    /// Number of resident sectors.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Returns `true` if `sector` is resident (does not touch recency).
+    pub fn contains(&self, sector: u64) -> bool {
+        self.map.contains_key(&sector)
+    }
+
+    /// Marks `sector` most-recently-used if resident.
+    pub fn touch(&mut self, sector: u64) {
+        if let Some(&idx) = self.map.get(&sector) {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Inserts `sector` as most-recently-used, evicting the LRU sector if
+    /// full. Returns the evicted sector, if any.
+    pub fn insert(&mut self, sector: u64) -> Option<u64> {
+        if let Some(&idx) = self.map.get(&sector) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let lru = self.tail.expect("full cache has a tail");
+            let victim = self.nodes[lru].sector;
+            self.unlink(lru);
+            self.map.remove(&victim);
+            self.free.push(lru);
+            evicted = Some(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    sector,
+                    prev: None,
+                    next: None,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    sector,
+                    prev: None,
+                    next: None,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(sector, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = None;
+        self.tail = None;
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        match prev {
+            Some(p) => self.nodes[p].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.nodes[n].prev = prev,
+            None => self.tail = prev,
+        }
+        self.nodes[idx].prev = None;
+        self.nodes[idx].next = None;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = None;
+        self.nodes[idx].next = self.head;
+        if let Some(h) = self.head {
+            self.nodes[h].prev = Some(idx);
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_lru_order() {
+        let mut c = LruCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        assert_eq!(c.insert(4), Some(1));
+        assert_eq!(c.insert(5), Some(2));
+        assert!(c.contains(3) && c.contains(4) && c.contains(5));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn touch_protects_from_eviction() {
+        let mut c = LruCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        c.touch(1); // 2 is now LRU
+        assert_eq!(c.insert(4), Some(2));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert_eq!(c.insert(1), None); // refresh, no eviction
+        assert_eq!(c.insert(3), Some(2));
+        assert!(c.contains(1) && c.contains(3));
+    }
+
+    #[test]
+    fn touch_of_absent_sector_is_a_noop() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.touch(99);
+        assert!(c.contains(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        for s in 0..4 {
+            c.insert(s);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(0));
+        // Still usable after clear.
+        c.insert(9);
+        assert!(c.contains(9));
+    }
+
+    #[test]
+    fn single_slot_cache_works() {
+        let mut c = LruCache::new(1);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.insert(2), Some(1));
+        c.touch(2);
+        assert_eq!(c.insert(3), Some(2));
+    }
+
+    #[test]
+    fn heavy_churn_maintains_invariants() {
+        let mut c = LruCache::new(64);
+        let mut x = 7u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            c.insert(x % 500);
+            assert!(c.len() <= 64);
+        }
+        assert_eq!(c.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::new(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Sequential stream detection for readahead.
+//!
+//! The classic ramp-up policy: a request that begins exactly where the
+//! previous one ended extends the stream, and the readahead window
+//! doubles (from one request's worth) up to the caller's cap; any
+//! non-sequential request resets the window. Tracking a handful of
+//! concurrent streams covers interleaved sequential readers (e.g. two
+//! files being copied at once).
+
+/// Detects sequential read streams and sizes the readahead window.
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::cache::SequentialDetector;
+///
+/// let mut d = SequentialDetector::new();
+/// assert_eq!(d.observe(100, 8), 0);       // first touch: no readahead
+/// let w1 = d.observe(108, 8);             // sequential: window opens
+/// assert!(w1 > 0);
+/// // The caller fetched [108, 116 + w1); the next miss lands after it.
+/// let w2 = d.observe(116 + u64::from(w1), 8);
+/// assert!(w2 > w1);                       // and the window doubles
+/// assert_eq!(d.observe(9_999_999, 8), 0); // random: no readahead
+/// ```
+#[derive(Debug)]
+pub struct SequentialDetector {
+    streams: Vec<Stream>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    next_lbn: u64,
+    window: u32,
+    age: u64,
+}
+
+/// Number of concurrent streams tracked.
+const MAX_STREAMS: usize = 8;
+
+impl SequentialDetector {
+    /// Creates a detector with no known streams.
+    pub fn new() -> Self {
+        SequentialDetector {
+            streams: Vec::with_capacity(MAX_STREAMS),
+        }
+    }
+
+    /// Observes a request and returns the readahead window (in sectors)
+    /// to fetch beyond it: zero unless the request extends a known
+    /// stream.
+    pub fn observe(&mut self, lbn: u64, sectors: u32) -> u32 {
+        for s in &mut self.streams {
+            s.age += 1;
+        }
+        if let Some(s) = self.streams.iter_mut().find(|s| s.next_lbn == lbn) {
+            // Extends a stream: ramp the window (it covers the *next*
+            // requests, so start at one request's worth and double).
+            s.window = (s.window * 2).clamp(sectors, u32::MAX / 2);
+            s.next_lbn = lbn + u64::from(sectors) + u64::from(s.window);
+            s.age = 0;
+            return s.window;
+        }
+        // New stream candidate; replace the stalest slot.
+        let slot = Stream {
+            next_lbn: lbn + u64::from(sectors),
+            window: sectors / 2,
+            age: 0,
+        };
+        if self.streams.len() < MAX_STREAMS {
+            self.streams.push(slot);
+        } else {
+            let stalest = self
+                .streams
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, s)| s.age)
+                .map(|(i, _)| i)
+                .expect("streams is non-empty");
+            self.streams[stalest] = slot;
+        }
+        0
+    }
+}
+
+impl Default for SequentialDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_gets_no_readahead() {
+        let mut d = SequentialDetector::new();
+        assert_eq!(d.observe(0, 8), 0);
+    }
+
+    #[test]
+    fn window_ramps_on_sequential_access() {
+        let mut d = SequentialDetector::new();
+        let mut lbn = 0u64;
+        let mut last_window = 0u32;
+        d.observe(lbn, 8);
+        lbn += 8;
+        for step in 0..5 {
+            let w = d.observe(lbn, 8);
+            assert!(w >= last_window, "window shrank at step {step}");
+            lbn += 8 + u64::from(w); // the readahead was consumed too
+            last_window = w;
+        }
+        assert!(last_window >= 64, "window should ramp, got {last_window}");
+    }
+
+    #[test]
+    fn random_access_resets() {
+        let mut d = SequentialDetector::new();
+        d.observe(0, 8);
+        let w = d.observe(8, 8);
+        assert!(w > 0);
+        assert_eq!(d.observe(1_000_000, 8), 0);
+    }
+
+    #[test]
+    fn interleaved_streams_are_both_tracked() {
+        let mut d = SequentialDetector::new();
+        d.observe(0, 8);
+        d.observe(500_000, 8);
+        let wa = d.observe(8, 8);
+        let wb = d.observe(500_008, 8);
+        assert!(wa > 0, "stream A lost");
+        assert!(wb > 0, "stream B lost");
+    }
+
+    #[test]
+    fn stream_table_evicts_stalest() {
+        let mut d = SequentialDetector::new();
+        // Fill the table with streams, then keep only one alive.
+        for i in 0..MAX_STREAMS as u64 {
+            d.observe(i * 100_000, 8);
+        }
+        for _ in 0..4 {
+            // A burst of new one-shot streams evicts the stale entries.
+            for i in 0..MAX_STREAMS as u64 {
+                d.observe(10_000_000 + i * 7_777, 8);
+            }
+        }
+        // The original first stream should be long gone.
+        assert_eq!(d.observe(8, 8), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Host-crash recovery and device initialization (§6.3).
+//!
+//! MEMS devices initialize in ≈0.5 ms — no spindle to spin up and no
+//! power surge, so a whole array restarts concurrently. High-end disks
+//! take up to 25 s each and are often spun up serially to avoid power
+//! spikes. The same gap shrinks the penalty of synchronous metadata
+//! writes after a crash.
+
+use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+
+/// Time for an array of `n` devices to become ready after power-on.
+///
+/// `serialize` forces one-at-a-time startup (the disk-array power-spike
+/// avoidance §6.3 describes); MEMS devices need no such serialization.
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::fault::array_ready_time;
+///
+/// // Eight high-end disks spun up serially: 200 seconds.
+/// assert_eq!(array_ready_time(8, 25.0, true), 200.0);
+/// // Eight MEMS devices initialized concurrently: 0.5 ms.
+/// assert_eq!(array_ready_time(8, 0.5e-3, false), 0.5e-3);
+/// ```
+pub fn array_ready_time(n: u32, per_device_startup: f64, serialize: bool) -> f64 {
+    if serialize {
+        f64::from(n) * per_device_startup
+    } else {
+        per_device_startup
+    }
+}
+
+/// Mean service time of a burst of small synchronous writes (the
+/// file-system metadata-update pattern of \[GP94]) issued back-to-back at
+/// random locations — the §6.3 sync-write penalty measure.
+pub fn sync_write_burst_mean<D: StorageDevice>(device: &mut D, count: u32, sectors: u32) -> f64 {
+    assert!(count > 0);
+    let capacity = device.capacity_lbns();
+    let mut t = SimTime::ZERO;
+    let mut total = 0.0;
+    let mut lbn = 777u64;
+    for i in 0..count {
+        // Deterministic pseudo-random walk over the LBN space.
+        lbn = (lbn
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
+            % (capacity - u64::from(sectors));
+        let req = Request::new(u64::from(i), t, lbn, sectors, IoKind::Write);
+        let b = device.service(&req, t);
+        total += b.total();
+        t += SimTime::from_secs(b.total());
+    }
+    total / f64::from(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_disk::{DiskDevice, DiskParams};
+    use mems_device::{MemsDevice, MemsParams};
+
+    #[test]
+    fn serialized_startup_scales_with_array_size() {
+        assert_eq!(array_ready_time(1, 25.0, true), 25.0);
+        assert_eq!(array_ready_time(4, 25.0, true), 100.0);
+        assert_eq!(array_ready_time(4, 25.0, false), 25.0);
+    }
+
+    #[test]
+    fn mems_array_restart_is_fifty_thousand_times_faster() {
+        let disks = array_ready_time(8, 25.0, true);
+        let mems = array_ready_time(8, 0.5e-3, false);
+        assert!(disks / mems > 100_000.0, "ratio {}", disks / mems);
+    }
+
+    #[test]
+    fn sync_writes_are_much_cheaper_on_mems() {
+        // §6.3: "the much lower service times for MEMS-based storage
+        // devices should decrease the penalty for these writes."
+        let mut mems = MemsDevice::new(MemsParams::default());
+        let mut disk = DiskDevice::new(DiskParams::quantum_atlas_10k());
+        let m = sync_write_burst_mean(&mut mems, 200, 2);
+        let d = sync_write_burst_mean(&mut disk, 200, 2);
+        assert!(m < 1.2e-3, "MEMS sync write {m}");
+        assert!(d > 5e-3, "disk sync write {d}");
+        assert!(d / m > 5.0, "ratio {}", d / m);
+    }
+}

@@ -1,0 +1,197 @@
+//! GF(2⁸) arithmetic for the striping ECC.
+//!
+//! The field is GF(2⁸) with the usual generator polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11d) and generator element 2. Multiplication
+//! and division go through exp/log tables built once at construction.
+
+/// GF(2⁸) arithmetic context (exp/log tables).
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::fault::Gf256;
+///
+/// let gf = Gf256::new();
+/// let a = 0x57;
+/// let b = 0x83;
+/// let p = gf.mul(a, b);
+/// assert_eq!(gf.div(p, b), a);
+/// assert_eq!(gf.mul(a, gf.inv(a)), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl Gf256 {
+    /// The field's generator polynomial (reduced modulo x⁸).
+    const POLY: u16 = 0x11d;
+
+    /// Builds the exp/log tables.
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        // Indexed on purpose: each step writes both tables at related slots.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= Self::POLY;
+            }
+        }
+        // Duplicate the table so mul can skip the mod-255 reduction.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// Field addition (and subtraction): XOR.
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[usize::from(self.log[usize::from(a)]) + usize::from(self.log[usize::from(b)])]
+        }
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            self.exp[255 + usize::from(self.log[usize::from(a)])
+                - usize::from(self.log[usize::from(b)])]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no inverse in GF(256)");
+        self.exp[255 - usize::from(self.log[usize::from(a)])]
+    }
+
+    /// `base` raised to `power` (power taken mod 255).
+    #[inline]
+    pub fn pow(&self, base: u8, power: u32) -> u8 {
+        if base == 0 {
+            return if power == 0 { 1 } else { 0 };
+        }
+        let l = u32::from(self.log[usize::from(base)]);
+        self.exp[((l * power) % 255) as usize]
+    }
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        let gf = Gf256::new();
+        assert_eq!(gf.add(0x57, 0x83), 0x57 ^ 0x83);
+        assert_eq!(gf.add(0x42, 0x42), 0);
+    }
+
+    #[test]
+    fn mul_matches_reference_slow_multiply() {
+        // Russian-peasant multiplication as the independent reference.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= 0x1d;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        let gf = Gf256::new();
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 0x53, 0xca, 0xff] {
+                assert_eq!(gf.mul(a, b), slow_mul(a, b), "mul({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        let gf = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "inv({a})");
+        }
+    }
+
+    #[test]
+    fn div_is_mul_by_inverse() {
+        let gf = Gf256::new();
+        for a in [0u8, 1, 7, 100, 200, 255] {
+            for b in [1u8, 2, 50, 130, 255] {
+                assert_eq!(gf.div(a, b), gf.mul(a, gf.inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let gf = Gf256::new();
+        for base in [1u8, 2, 3, 0x1d, 0xb7] {
+            let mut acc = 1u8;
+            for p in 0..20u32 {
+                assert_eq!(gf.pow(base, p), acc, "pow({base},{p})");
+                acc = gf.mul(acc, base);
+            }
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn multiplication_is_associative_and_distributive_spot_check() {
+        let gf = Gf256::new();
+        for &(a, b, c) in &[(3u8, 7u8, 11u8), (0x53, 0xca, 0x01), (255, 254, 253)] {
+            assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+            assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let gf = Gf256::new();
+        let _ = gf.div(1, 0);
+    }
+}

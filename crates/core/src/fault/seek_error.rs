@@ -1,0 +1,111 @@
+//! Seek-error penalty models (§6.1.3).
+//!
+//! A disk that mis-seeks pays a short re-seek (1–2 ms) plus up to a full
+//! rotation before the sector comes back under the head. A MEMS device
+//! verifies servo information at every involved tip and recovers with at
+//! most two Y turnarounds plus short X/Y re-seeks — orders of magnitude
+//! cheaper.
+
+use atlas_disk::DiskParams;
+use mems_device::{MemsParams, SpringSled};
+
+/// Seek-error penalty statistics, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekErrorPenalty {
+    /// Best-case recovery time.
+    pub min: f64,
+    /// Average recovery time.
+    pub mean: f64,
+    /// Worst-case recovery time.
+    pub max: f64,
+}
+
+/// Disk seek-error penalty: a short re-seek plus rotational re-latency.
+///
+/// The re-seek costs `reseek` (1–2 ms for short re-seeks); the rotational
+/// penalty ranges from zero to a full revolution, averaging half.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_disk::DiskParams;
+/// use mems_os::fault::disk_seek_error_penalty;
+///
+/// let p = disk_seek_error_penalty(&DiskParams::quantum_atlas_10k(), 1.5e-3);
+/// // Up to ~1.5 ms re-seek + ~6 ms rotation (§6.1.3).
+/// assert!(p.max > 7e-3);
+/// ```
+pub fn disk_seek_error_penalty(params: &DiskParams, reseek: f64) -> SeekErrorPenalty {
+    let rev = params.revolution_time();
+    SeekErrorPenalty {
+        min: reseek,
+        mean: reseek + rev / 2.0,
+        max: reseek + rev,
+    }
+}
+
+/// MEMS seek-error penalty: up to two turnarounds in Y plus short
+/// re-seeks in X and Y (§6.1.3).
+///
+/// Turnaround times are sampled over the sled's travel at access
+/// velocity; the short re-seek is a one-cylinder X seek plus settle.
+pub fn mems_seek_error_penalty(params: &MemsParams) -> SeekErrorPenalty {
+    let sled =
+        SpringSled::from_spring_factor(params.accel, params.spring_factor, params.half_mobility());
+    let v = params.access_velocity();
+    let samples = 101;
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    let mut sum = 0.0;
+    for i in 0..samples {
+        let frac = i as f64 / (samples - 1) as f64;
+        let p = (frac - 0.5) * params.mobility * 0.98;
+        for dir in [v, -v] {
+            let t = sled.turnaround_time(p, dir);
+            min = min.min(t);
+            max = max.max(t);
+            sum += t;
+        }
+    }
+    let mean_turn = sum / (2 * samples) as f64;
+    let reseek = sled.rest_seek_time(0.0, params.bit_width) + params.settle_time();
+    SeekErrorPenalty {
+        // Best case: one spring-assisted turnaround, no X movement.
+        min,
+        // Average: between one and two turnarounds plus the short re-seek.
+        mean: 1.5 * mean_turn + reseek,
+        // Worst case: two slow turnarounds plus the short re-seek.
+        max: 2.0 * max + reseek,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_penalty_matches_paper_envelope() {
+        // §6.1.3: 1–2 ms re-seek plus up to 6 ms rotation for 10K RPM.
+        let p = disk_seek_error_penalty(&DiskParams::quantum_atlas_10k(), 1.5e-3);
+        assert!((p.min - 1.5e-3).abs() < 1e-9);
+        assert!((p.max - (1.5e-3 + 5.985e-3)).abs() < 1e-5);
+        assert!(p.min <= p.mean && p.mean <= p.max);
+    }
+
+    #[test]
+    fn mems_penalty_matches_paper_envelope() {
+        // §6.1.3: "up to two turnarounds in the Y direction (0.04–1.11 ms
+        // each) and short seeks in possibly both the X and Y directions."
+        let p = mems_seek_error_penalty(&MemsParams::default());
+        assert!(p.min > 0.02e-3 && p.min < 0.06e-3, "min {}", p.min);
+        assert!(p.max < 1.5e-3, "max {}", p.max);
+        assert!(p.min <= p.mean && p.mean <= p.max);
+    }
+
+    #[test]
+    fn mems_recovers_much_faster_than_disk_on_average() {
+        let d = disk_seek_error_penalty(&DiskParams::quantum_atlas_10k(), 1.5e-3);
+        let m = mems_seek_error_penalty(&MemsParams::default());
+        assert!(d.mean / m.mean > 5.0, "disk {} vs mems {}", d.mean, m.mean);
+    }
+}

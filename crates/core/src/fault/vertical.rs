@@ -1,0 +1,121 @@
+//! The vertical (per-tip) code: error detection within one tip sector.
+//!
+//! §6.1.2: "The vertical portion of the ECC can identify tip-sectors that
+//! should be treated as missing (i.e., converting large errors into
+//! erasures)." We model the N-bits-per-byte vertical encoding's detection
+//! capability with a CRC-8 over the tip sector's 8 data bytes: a corrupted
+//! tip sector fails its check and is handed to the horizontal
+//! Reed–Solomon code as an erasure, which is far cheaper to correct than
+//! an error at unknown position.
+
+/// CRC-8 (polynomial 0x07, the ATM HEC polynomial) over a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::fault::crc8;
+///
+/// let payload = [1u8, 2, 3, 4, 5, 6, 7, 8];
+/// let c = crc8(&payload);
+/// let mut corrupted = payload;
+/// corrupted[3] ^= 0x10;
+/// assert_ne!(crc8(&corrupted), c);
+/// ```
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// One tip sector as stored on the media: 8 data bytes plus the vertical
+/// check byte (standing in for the per-tip encoding redundancy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TipSector {
+    /// The 8 data bytes the tip stores for this sector.
+    pub data: [u8; 8],
+    /// Vertical check over `data`.
+    pub check: u8,
+}
+
+impl TipSector {
+    /// Encodes 8 data bytes into a checked tip sector.
+    pub fn encode(data: [u8; 8]) -> Self {
+        TipSector {
+            data,
+            check: crc8(&data),
+        }
+    }
+
+    /// Verifies the vertical check; a failed check means the tip sector
+    /// must be treated as an erasure.
+    pub fn verify(&self) -> bool {
+        crc8(&self.data) == self.check
+    }
+
+    /// Returns the data if the check passes, `None` (erasure) otherwise.
+    pub fn read(&self) -> Option<[u8; 8]> {
+        if self.verify() {
+            Some(self.data)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc8_known_values() {
+        assert_eq!(crc8(&[]), 0);
+        assert_eq!(crc8(&[0]), 0);
+        // CRC-8/ATM check value for "123456789" is 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xf4);
+    }
+
+    #[test]
+    fn clean_round_trip_verifies() {
+        let ts = TipSector::encode([9, 8, 7, 6, 5, 4, 3, 2]);
+        assert!(ts.verify());
+        assert_eq!(ts.read(), Some([9, 8, 7, 6, 5, 4, 3, 2]));
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let ts = TipSector::encode([0x55; 8]);
+        for byte in 0..8 {
+            for bit in 0..8 {
+                let mut bad = ts;
+                bad.data[byte] ^= 1 << bit;
+                assert!(!bad.verify(), "missed flip at byte {byte} bit {bit}");
+                assert_eq!(bad.read(), None);
+            }
+        }
+        // Flips in the check byte are also caught.
+        for bit in 0..8 {
+            let mut bad = ts;
+            bad.check ^= 1 << bit;
+            assert!(!bad.verify());
+        }
+    }
+
+    #[test]
+    fn burst_errors_within_a_byte_are_detected() {
+        let ts = TipSector::encode([1, 2, 3, 4, 5, 6, 7, 8]);
+        for mask in 1u8..=255 {
+            let mut bad = ts;
+            bad.data[4] ^= mask;
+            assert!(!bad.verify(), "missed burst mask {mask:#x}");
+        }
+    }
+}

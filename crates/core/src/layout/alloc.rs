@@ -1,0 +1,307 @@
+//! Extent allocation over a bipartite layout.
+//!
+//! The paper's §5.3 placement decision — small/popular data to the
+//! centermost subregion, large/streaming data to the outer subregions —
+//! needs an allocator to be usable by a file system or database. This
+//! module provides one: a first-fit extent allocator per data class,
+//! seeded from a [`Layout`]'s designated regions, with coalescing frees
+//! and fragmentation reporting.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use super::Layout;
+
+/// An allocated run of sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First sector.
+    pub lbn: u64,
+    /// Length in sectors.
+    pub sectors: u64,
+}
+
+impl Extent {
+    /// One past the last sector.
+    pub fn end(&self) -> u64 {
+        self.lbn + self.sectors
+    }
+}
+
+/// Which data class an extent belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataClass {
+    /// Small, popular data (centermost placement).
+    Small,
+    /// Large, streaming data (outer placement).
+    Large,
+}
+
+/// First-fit free-extent list with coalescing.
+#[derive(Debug, Clone, Default)]
+struct FreeList {
+    /// start → length, non-overlapping, non-adjacent.
+    runs: BTreeMap<u64, u64>,
+    free: u64,
+}
+
+impl FreeList {
+    fn seed(ranges: &[Range<u64>]) -> Self {
+        let mut list = FreeList::default();
+        for r in ranges {
+            list.release(r.start, r.end - r.start);
+        }
+        list
+    }
+
+    fn allocate(&mut self, sectors: u64) -> Option<u64> {
+        let (&start, &len) = self.runs.iter().find(|(_, &len)| len >= sectors)?;
+        self.runs.remove(&start);
+        if len > sectors {
+            self.runs.insert(start + sectors, len - sectors);
+        }
+        self.free -= sectors;
+        Some(start)
+    }
+
+    fn release(&mut self, start: u64, sectors: u64) {
+        assert!(sectors > 0);
+        // Merge with the predecessor and successor where adjacent.
+        let mut new_start = start;
+        let mut new_len = sectors;
+        if let Some((&p_start, &p_len)) = self.runs.range(..start).next_back() {
+            assert!(p_start + p_len <= start, "double free or overlap");
+            if p_start + p_len == start {
+                self.runs.remove(&p_start);
+                new_start = p_start;
+                new_len += p_len;
+            }
+        }
+        if let Some((&n_start, &n_len)) = self.runs.range(start..).next() {
+            assert!(start + sectors <= n_start, "double free or overlap");
+            if start + sectors == n_start {
+                self.runs.remove(&n_start);
+                new_len += n_len;
+            }
+        }
+        self.runs.insert(new_start, new_len);
+        self.free += sectors;
+    }
+
+    fn largest(&self) -> u64 {
+        self.runs.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// A per-class extent allocator seeded from a layout's regions.
+///
+/// # Examples
+///
+/// ```
+/// use mems_device::MemsParams;
+/// use mems_os::layout::{Allocator, ColumnarLayout, DataClass};
+///
+/// let layout = ColumnarLayout::new(&MemsParams::default().geometry());
+/// let mut alloc = Allocator::new(&layout);
+/// let meta = alloc.allocate(DataClass::Small, 8).unwrap();
+/// let stream = alloc.allocate(DataClass::Large, 800).unwrap();
+/// // Small data landed in the center column, large in the outer band.
+/// assert!(meta.lbn >= 1200 * 2700 && meta.end() <= 1300 * 2700);
+/// assert!(stream.end() <= 1000 * 2700 || stream.lbn >= 1500 * 2700);
+/// alloc.release(DataClass::Small, meta);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    small: FreeList,
+    large: FreeList,
+    small_total: u64,
+    large_total: u64,
+}
+
+impl Allocator {
+    /// Seeds an allocator from a layout's regions.
+    pub fn new(layout: &dyn Layout) -> Self {
+        let small = FreeList::seed(layout.small_ranges());
+        let large = FreeList::seed(layout.large_ranges());
+        let small_total = small.free;
+        let large_total = large.free;
+        Allocator {
+            small,
+            large,
+            small_total,
+            large_total,
+        }
+    }
+
+    /// Allocates a contiguous extent of `sectors` in the class's region;
+    /// `None` when no free run is large enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors` is zero.
+    pub fn allocate(&mut self, class: DataClass, sectors: u64) -> Option<Extent> {
+        assert!(sectors > 0, "cannot allocate zero sectors");
+        let list = self.list_mut(class);
+        list.allocate(sectors).map(|lbn| Extent { lbn, sectors })
+    }
+
+    /// Returns an extent to its class's free pool, coalescing neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double frees or overlapping releases.
+    pub fn release(&mut self, class: DataClass, extent: Extent) {
+        self.list_mut(class).release(extent.lbn, extent.sectors);
+    }
+
+    /// Free sectors remaining in a class.
+    pub fn free_sectors(&self, class: DataClass) -> u64 {
+        self.list(class).free
+    }
+
+    /// Utilization of a class region in `[0, 1]`.
+    pub fn utilization(&self, class: DataClass) -> f64 {
+        let total = match class {
+            DataClass::Small => self.small_total,
+            DataClass::Large => self.large_total,
+        };
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.list(class).free as f64 / total as f64
+        }
+    }
+
+    /// External fragmentation of a class: 1 − largest free run / free
+    /// space (0 = one contiguous run, → 1 = shattered).
+    pub fn fragmentation(&self, class: DataClass) -> f64 {
+        let list = self.list(class);
+        if list.free == 0 {
+            0.0
+        } else {
+            1.0 - list.largest() as f64 / list.free as f64
+        }
+    }
+
+    fn list(&self, class: DataClass) -> &FreeList {
+        match class {
+            DataClass::Small => &self.small,
+            DataClass::Large => &self.large,
+        }
+    }
+
+    fn list_mut(&mut self, class: DataClass) -> &mut FreeList {
+        match class {
+            DataClass::Small => &mut self.small,
+            DataClass::Large => &mut self.large,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::SimpleLayout;
+
+    fn alloc() -> Allocator {
+        Allocator::new(&SimpleLayout::new(10_000))
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = alloc();
+        let mut taken: Vec<Extent> = Vec::new();
+        for _ in 0..100 {
+            let e = a.allocate(DataClass::Small, 64).unwrap();
+            for t in &taken {
+                assert!(e.end() <= t.lbn || t.end() <= e.lbn, "overlap");
+            }
+            taken.push(e);
+        }
+    }
+
+    #[test]
+    fn exhaustion_returns_none_then_release_recovers() {
+        let mut a = alloc();
+        let e1 = a.allocate(DataClass::Small, 6_000).unwrap();
+        assert!(a.allocate(DataClass::Small, 6_000).is_none());
+        a.release(DataClass::Small, e1);
+        assert!(a.allocate(DataClass::Small, 6_000).is_some());
+    }
+
+    #[test]
+    fn coalescing_restores_contiguity() {
+        let mut a = alloc();
+        let e1 = a.allocate(DataClass::Small, 3_000).unwrap();
+        let e2 = a.allocate(DataClass::Small, 3_000).unwrap();
+        let e3 = a.allocate(DataClass::Small, 3_000).unwrap();
+        // Free in shuffle order; the three must merge back.
+        a.release(DataClass::Small, e2);
+        a.release(DataClass::Small, e1);
+        a.release(DataClass::Small, e3);
+        assert_eq!(a.fragmentation(DataClass::Small), 0.0);
+        assert!(a.allocate(DataClass::Small, 9_000).is_some());
+    }
+
+    #[test]
+    fn utilization_tracks_allocations() {
+        let mut a = alloc();
+        assert_eq!(a.utilization(DataClass::Small), 0.0);
+        let _ = a.allocate(DataClass::Small, 5_000).unwrap();
+        assert!((a.utilization(DataClass::Small) - 0.5).abs() < 1e-12);
+        assert_eq!(a.free_sectors(DataClass::Small), 5_000);
+    }
+
+    #[test]
+    fn fragmentation_reflects_holes() {
+        let mut a = alloc();
+        let extents: Vec<Extent> = (0..10)
+            .map(|_| a.allocate(DataClass::Small, 1_000).unwrap())
+            .collect();
+        // Free every other extent: five 1000-sector holes.
+        for e in extents.iter().step_by(2) {
+            a.release(DataClass::Small, *e);
+        }
+        let frag = a.fragmentation(DataClass::Small);
+        assert!(frag > 0.5, "shattered free space, frag {frag}");
+    }
+
+    #[test]
+    fn classes_are_independent_pools() {
+        let layout =
+            crate::layout::ColumnarLayout::new(&mems_device::MemsParams::default().geometry());
+        let mut a = Allocator::new(&layout);
+        let small = a.allocate(DataClass::Small, 8).unwrap();
+        let large = a.allocate(DataClass::Large, 800).unwrap();
+        assert!(small.end() <= 1300 * 2700 && small.lbn >= 1200 * 2700);
+        assert!(large.end() <= 1000 * 2700 || large.lbn >= 1500 * 2700);
+        // Releasing into the wrong class would corrupt accounting; the
+        // pools don't know each other's ranges, so discipline is on the
+        // caller — but double frees within a class are caught.
+        a.release(DataClass::Small, small);
+        a.release(DataClass::Large, large);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = alloc();
+        let e = a.allocate(DataClass::Small, 100).unwrap();
+        a.release(DataClass::Small, e);
+        a.release(DataClass::Small, e);
+    }
+
+    #[test]
+    fn subregion_layout_allocates_within_row_bands() {
+        let layout =
+            crate::layout::SubregionedLayout::new(&mems_device::MemsParams::default().geometry());
+        let mut a = Allocator::new(&layout);
+        let mapper = mems_device::Mapper::new(&mems_device::MemsParams::default());
+        for _ in 0..50 {
+            let e = a.allocate(DataClass::Small, 8).unwrap();
+            let addr = mapper.decompose(e.lbn);
+            assert!((1000..1500).contains(&addr.cylinder));
+            assert!((10..17).contains(&addr.row));
+        }
+    }
+}

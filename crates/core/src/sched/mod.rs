@@ -1,0 +1,99 @@
+//! Request scheduling algorithms (§4).
+//!
+//! The paper compares four classic disk schedulers on MEMS-based storage:
+//!
+//! * **FCFS** — first-come-first-served, the reference point (provided by
+//!   [`storage_sim::FifoScheduler`], re-exported here);
+//! * **SSTF_LBN** — greedy shortest "seek" first, approximating seek time
+//!   by LBN distance as real hosts must [`SstfScheduler`];
+//! * **C-LOOK** — cyclical ascending-LBN sweeps, the starvation-resistant
+//!   choice [`ClookScheduler`];
+//! * **SPTF** — shortest positioning time first, which consults the
+//!   device's actual mechanical state [`SptfScheduler`].
+//!
+//! Three documented extensions round out the algorithm family from the
+//! disk-scheduling literature the paper builds on: an age-weighted SPTF
+//! ([`AgedSptfScheduler`], the classic starvation remedy of \[WGP94]), the
+//! bidirectional elevator ([`LookScheduler`]), the frozen-queue batch
+//! elevator ([`FscanScheduler`]), and the V(R) SSTF↔SCAN continuum
+//! ([`VrScheduler`]).
+
+mod clook;
+mod scan;
+mod sptf;
+mod sstf;
+mod vscan;
+
+pub use clook::ClookScheduler;
+pub use scan::{FscanScheduler, LookScheduler};
+pub use sptf::{AgedSptfScheduler, SptfScheduler};
+pub use sstf::SstfScheduler;
+pub use vscan::VrScheduler;
+
+pub use storage_sim::FifoScheduler;
+
+use storage_sim::Scheduler;
+
+/// The scheduling algorithms evaluated in the paper's figures, in the
+/// order the figures list them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// First come, first served.
+    Fcfs,
+    /// Shortest seek (LBN distance) first.
+    SstfLbn,
+    /// Cyclical LOOK over ascending LBNs.
+    Clook,
+    /// Shortest positioning time first.
+    Sptf,
+}
+
+impl Algorithm {
+    /// All four algorithms, figure order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Fcfs,
+        Algorithm::SstfLbn,
+        Algorithm::Clook,
+        Algorithm::Sptf,
+    ];
+
+    /// The paper's label for the algorithm.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Fcfs => "FCFS",
+            Algorithm::SstfLbn => "SSTF_LBN",
+            Algorithm::Clook => "C-LOOK",
+            Algorithm::Sptf => "SPTF",
+        }
+    }
+
+    /// Instantiates a fresh scheduler for the algorithm.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            Algorithm::Fcfs => Box::new(FifoScheduler::new()),
+            Algorithm::SstfLbn => Box::new(SstfScheduler::new()),
+            Algorithm::Clook => Box::new(ClookScheduler::new()),
+            Algorithm::Sptf => Box::new(SptfScheduler::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Algorithm::Fcfs.label(), "FCFS");
+        assert_eq!(Algorithm::SstfLbn.label(), "SSTF_LBN");
+        assert_eq!(Algorithm::Clook.label(), "C-LOOK");
+        assert_eq!(Algorithm::Sptf.label(), "SPTF");
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.build().name(), alg.label());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Elevator variants: LOOK and FSCAN.
+//!
+//! Extensions beyond the paper's four algorithms, from the scheduling
+//! literature it builds on [Den67, TP72, SCO90]:
+//!
+//! * [`LookScheduler`] — the bidirectional elevator: service in the
+//!   current sweep direction, reverse at the last pending request.
+//!   C-LOOK's one-way cousin; slightly better mean response, slightly
+//!   worse fairness to the edges.
+//! * [`FscanScheduler`] — freeze the queue into a batch and service the
+//!   batch as one ascending sweep while new arrivals wait for the next
+//!   batch; a simple anti-starvation device.
+
+use std::collections::BTreeMap;
+
+use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+
+/// Bidirectional elevator (LOOK).
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::sched::LookScheduler;
+/// use storage_sim::{ConstantDevice, IoKind, Request, Scheduler, SimTime};
+///
+/// let mut s = LookScheduler::new();
+/// let d = ConstantDevice::new(10_000, 1e-3);
+/// for (id, lbn) in [(0, 500u64), (1, 900), (2, 100)] {
+///     s.enqueue(Request::new(id, SimTime::ZERO, lbn, 8, IoKind::Read));
+/// }
+/// // Sweeping up from 0: 100, 500, 900.
+/// assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 100);
+/// assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 500);
+/// assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 900);
+/// ```
+#[derive(Debug, Default)]
+pub struct LookScheduler {
+    pending: BTreeMap<(u64, u64), Request>,
+    head: u64,
+    ascending: bool,
+}
+
+impl LookScheduler {
+    /// Creates an elevator at LBN 0 sweeping upward.
+    pub fn new() -> Self {
+        LookScheduler {
+            pending: BTreeMap::new(),
+            head: 0,
+            ascending: true,
+        }
+    }
+}
+
+impl Scheduler for LookScheduler {
+    fn name(&self) -> &str {
+        "LOOK"
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.pending.insert((req.lbn, req.id), req);
+    }
+
+    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let key = if self.ascending {
+            match self.pending.range((self.head, 0)..).next() {
+                Some((&k, _)) => k,
+                None => {
+                    self.ascending = false;
+                    *self
+                        .pending
+                        .keys()
+                        .next_back()
+                        .expect("pending is non-empty")
+                }
+            }
+        } else {
+            match self.pending.range(..=(self.head, u64::MAX)).next_back() {
+                Some((&k, _)) => k,
+                None => {
+                    self.ascending = true;
+                    *self.pending.keys().next().expect("pending is non-empty")
+                }
+            }
+        };
+        let req = self.pending.remove(&key).expect("key just found");
+        self.head = if self.ascending {
+            req.end_lbn()
+        } else {
+            req.lbn
+        };
+        Some(req)
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Frozen-queue elevator (FSCAN): arrivals during a sweep wait for the
+/// next sweep.
+#[derive(Debug, Default)]
+pub struct FscanScheduler {
+    /// The batch currently being swept, ascending.
+    active: BTreeMap<(u64, u64), Request>,
+    /// Arrivals since the sweep began.
+    frozen: Vec<Request>,
+}
+
+impl FscanScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FscanScheduler {
+    fn name(&self) -> &str {
+        "FSCAN"
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.frozen.push(req);
+    }
+
+    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+        if self.active.is_empty() {
+            // Promote the frozen queue into a new batch.
+            for req in self.frozen.drain(..) {
+                self.active.insert((req.lbn, req.id), req);
+            }
+        }
+        let key = *self.active.keys().next()?;
+        self.active.remove(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.active.len() + self.frozen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_sim::{ConstantDevice, IoKind};
+
+    fn req(id: u64, lbn: u64) -> Request {
+        Request::new(id, SimTime::ZERO, lbn, 8, IoKind::Read)
+    }
+
+    fn dev() -> ConstantDevice {
+        ConstantDevice::new(1_000_000, 1e-3)
+    }
+
+    #[test]
+    fn look_reverses_at_the_last_request() {
+        let mut s = LookScheduler::new();
+        let d = dev();
+        for (id, lbn) in [(0u64, 300u64), (1, 700), (2, 500)] {
+            s.enqueue(req(id, lbn));
+        }
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 300);
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 500);
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 700);
+        // New arrivals below the head are served on the way back down.
+        s.enqueue(req(3, 600));
+        s.enqueue(req(4, 100));
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 600);
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 100);
+    }
+
+    #[test]
+    fn look_downward_sweep_is_descending() {
+        let mut s = LookScheduler::new();
+        let d = dev();
+        s.enqueue(req(0, 900));
+        let _ = s.pick(&d, SimTime::ZERO);
+        for (id, lbn) in [(1u64, 100u64), (2, 500), (3, 800)] {
+            s.enqueue(req(id, lbn));
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| s.pick(&d, SimTime::ZERO).map(|r| r.lbn)).collect();
+        assert_eq!(order, vec![800, 500, 100]);
+    }
+
+    #[test]
+    fn fscan_freezes_arrivals_during_a_sweep() {
+        let mut s = FscanScheduler::new();
+        let d = dev();
+        s.enqueue(req(0, 500));
+        s.enqueue(req(1, 100));
+        // Batch forms on first pick: {100, 500}.
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 100);
+        // A new low-LBN arrival must NOT jump into the active sweep.
+        s.enqueue(req(2, 50));
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 500);
+        // Next batch picks it up.
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().lbn, 50);
+        assert!(s.pick(&d, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn fscan_len_counts_both_queues() {
+        let mut s = FscanScheduler::new();
+        let d = dev();
+        s.enqueue(req(0, 1));
+        s.enqueue(req(1, 2));
+        let _ = s.pick(&d, SimTime::ZERO);
+        s.enqueue(req(2, 3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_schedulers_return_none() {
+        let d = dev();
+        assert!(LookScheduler::new().pick(&d, SimTime::ZERO).is_none());
+        assert!(FscanScheduler::new().pick(&d, SimTime::ZERO).is_none());
+    }
+}

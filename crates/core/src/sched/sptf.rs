@@ -1,0 +1,226 @@
+//! Shortest Positioning Time First (SPTF, §4.1–4.2).
+//!
+//! SPTF asks the device for the actual positioning delay of every pending
+//! request and greedily services the cheapest [SCO90, JW91]. On disks the
+//! positioning estimate combines seek and rotational latency; on MEMS
+//! devices it is `max(X seek + settle, Y seek)` — which is exactly why
+//! SPTF beats the LBN-based algorithms there: LBN distance approximates
+//! only the X component, and once an LBN-based scheduler has squeezed X
+//! seeks down, the Y component (which it cannot see) dominates (§4.2,
+//! §4.4).
+//!
+//! [`AgedSptfScheduler`] is the classic aged variant \[WGP94]: each
+//! request's positioning estimate is discounted by how long it has waited,
+//! bounding starvation at a small average-case cost.
+
+use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+
+/// Greedy shortest-positioning-time scheduler.
+///
+/// Each pick scans the pending set and queries
+/// [`StorageDevice::position_time`] for each candidate — the same
+/// full-knowledge oracle the paper's simulator gives its SPTF.
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::sched::SptfScheduler;
+/// use mems_device::{MemsDevice, MemsParams};
+/// use storage_sim::{IoKind, Request, Scheduler, SimTime};
+///
+/// let mut s = SptfScheduler::new();
+/// let dev = MemsDevice::new(MemsParams::default());
+/// s.enqueue(Request::new(0, SimTime::ZERO, 0, 8, IoKind::Read));
+/// s.enqueue(Request::new(1, SimTime::ZERO, 1250 * 2700, 8, IoKind::Read));
+/// // The sled starts centered; the center-cylinder request is
+/// // mechanically closer and wins.
+/// assert_eq!(s.pick(&dev, SimTime::ZERO).unwrap().id, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SptfScheduler {
+    pending: Vec<Request>,
+}
+
+impl SptfScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for SptfScheduler {
+    fn name(&self) -> &str {
+        "SPTF"
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.pending.push(req);
+    }
+
+    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_time = f64::INFINITY;
+        for (i, req) in self.pending.iter().enumerate() {
+            let t = device.position_time(req, now);
+            if t < best_time {
+                best_time = t;
+                best = i;
+            }
+        }
+        Some(self.pending.swap_remove(best))
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Aged SPTF: positioning time minus `weight × wait time` \[WGP94].
+///
+/// With `weight = 0` this is plain SPTF; larger weights approach FCFS.
+/// A weight in the low single digits (seconds of positioning credit per
+/// second of waiting, i.e. dimensionless) bounds starvation effectively.
+#[derive(Debug)]
+pub struct AgedSptfScheduler {
+    pending: Vec<Request>,
+    weight: f64,
+    name: String,
+}
+
+impl AgedSptfScheduler {
+    /// Creates an aged SPTF scheduler with the given aging weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn new(weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be >= 0");
+        AgedSptfScheduler {
+            pending: Vec::new(),
+            weight,
+            name: format!("SPTF-aged({weight})"),
+        }
+    }
+}
+
+impl Scheduler for AgedSptfScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.pending.push(req);
+    }
+
+    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, req) in self.pending.iter().enumerate() {
+            let wait = (now - req.arrival).as_secs().max(0.0);
+            let score = device.position_time(req, now) - self.weight * wait;
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        Some(self.pending.swap_remove(best))
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mems_device::{MemsDevice, MemsParams};
+    use storage_sim::IoKind;
+
+    fn req(id: u64, lbn: u64) -> Request {
+        Request::new(id, SimTime::ZERO, lbn, 8, IoKind::Read)
+    }
+
+    #[test]
+    fn picks_the_mechanically_cheapest_request() {
+        let mut s = SptfScheduler::new();
+        let dev = MemsDevice::new(MemsParams::default());
+        // Sled centered: LBN at the center cylinder (1250 · 2700) beats
+        // both extremes.
+        s.enqueue(req(0, 0));
+        s.enqueue(req(1, 1250 * 2700));
+        s.enqueue(req(2, 2499 * 2700));
+        assert_eq!(s.pick(&dev, SimTime::ZERO).unwrap().id, 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn pick_agrees_with_position_time_oracle() {
+        let mut s = SptfScheduler::new();
+        let dev = MemsDevice::new(MemsParams::default());
+        let candidates: Vec<Request> = (0..50).map(|i| req(i, i * 67_000 + 13)).collect();
+        for r in &candidates {
+            s.enqueue(*r);
+        }
+        let picked = s.pick(&dev, SimTime::ZERO).unwrap();
+        let t_picked = dev.position_time(&picked, SimTime::ZERO);
+        for r in &candidates {
+            assert!(
+                dev.position_time(r, SimTime::ZERO) >= t_picked - 1e-15,
+                "picked request is not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn aged_sptf_with_zero_weight_matches_sptf() {
+        let dev = MemsDevice::new(MemsParams::default());
+        let mut plain = SptfScheduler::new();
+        let mut aged = AgedSptfScheduler::new(0.0);
+        for i in 0..20 {
+            let r = req(i, (i * 997_001) % 6_000_000);
+            plain.enqueue(r);
+            aged.enqueue(r);
+        }
+        while let (Some(a), Some(b)) = (
+            plain.pick(&dev, SimTime::ZERO),
+            aged.pick(&dev, SimTime::ZERO),
+        ) {
+            assert_eq!(a.id, b.id);
+        }
+        assert!(plain.is_empty() && aged.is_empty());
+    }
+
+    #[test]
+    fn aging_promotes_old_requests() {
+        let dev = MemsDevice::new(MemsParams::default());
+        let mut aged = AgedSptfScheduler::new(1.0);
+        // An old, mechanically distant request vs a fresh nearby one.
+        let old = Request::new(0, SimTime::ZERO, 2499 * 2700, 8, IoKind::Read);
+        let fresh = Request::new(1, SimTime::from_secs(10.0), 1250 * 2700, 8, IoKind::Read);
+        aged.enqueue(old);
+        aged.enqueue(fresh);
+        // At t = 10 s the old request has earned 10 s of credit — far more
+        // than any positioning difference.
+        assert_eq!(aged.pick(&dev, SimTime::from_secs(10.0)).unwrap().id, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn negative_weight_rejected() {
+        let _ = AgedSptfScheduler::new(-1.0);
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mut s = SptfScheduler::new();
+        let dev = MemsDevice::new(MemsParams::default());
+        assert!(s.pick(&dev, SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Shortest Seek Time First, LBN approximation (SSTF_LBN, §4.1).
+//!
+//! True SSTF needs seek-time knowledge few hosts have, so practical
+//! implementations greedily pick the pending request whose starting LBN is
+//! closest to the last accessed LBN \[WGP94]. On a MEMS device this
+//! minimizes X-dimension sled movement but is blind to the Y dimension —
+//! the gap SPTF exploits (§4.2).
+
+use std::collections::BTreeMap;
+
+use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+
+/// Greedy nearest-LBN scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::sched::SstfScheduler;
+/// use storage_sim::{ConstantDevice, IoKind, Request, Scheduler, SimTime};
+///
+/// let mut s = SstfScheduler::new();
+/// let d = ConstantDevice::new(10_000, 1e-3);
+/// s.enqueue(Request::new(0, SimTime::ZERO, 9_000, 8, IoKind::Read));
+/// s.enqueue(Request::new(1, SimTime::ZERO, 100, 8, IoKind::Read));
+/// // The head starts at LBN 0, so the nearby request wins despite
+/// // arriving second.
+/// assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SstfScheduler {
+    /// Pending requests keyed by (start LBN, id) for nearest-neighbor
+    /// lookup; the id disambiguates duplicates.
+    pending: BTreeMap<(u64, u64), Request>,
+    /// LBN just past the end of the last serviced request.
+    head: u64,
+}
+
+impl SstfScheduler {
+    /// Creates an empty scheduler with the head position at LBN 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for SstfScheduler {
+    fn name(&self) -> &str {
+        "SSTF_LBN"
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.pending.insert((req.lbn, req.id), req);
+    }
+
+    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+        // Nearest pending LBN to the head: the last entry at-or-below and
+        // the first entry above; whichever is closer wins (ties go down,
+        // matching classic SSTF implementations).
+        let below = self
+            .pending
+            .range(..=(self.head, u64::MAX))
+            .next_back()
+            .map(|(&k, _)| k);
+        let above = self
+            .pending
+            .range((self.head, u64::MAX)..)
+            .next()
+            .map(|(&k, _)| k);
+        let key = match (below, above) {
+            (None, None) => return None,
+            (Some(b), None) => b,
+            (None, Some(a)) => a,
+            (Some(b), Some(a)) => {
+                if self.head - b.0 <= a.0 - self.head {
+                    b
+                } else {
+                    a
+                }
+            }
+        };
+        let req = self.pending.remove(&key).expect("key just found");
+        self.head = req.end_lbn();
+        Some(req)
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_sim::{ConstantDevice, IoKind};
+
+    fn req(id: u64, lbn: u64) -> Request {
+        Request::new(id, SimTime::ZERO, lbn, 8, IoKind::Read)
+    }
+
+    fn dev() -> ConstantDevice {
+        ConstantDevice::new(1_000_000, 1e-3)
+    }
+
+    #[test]
+    fn picks_nearest_in_either_direction() {
+        let mut s = SstfScheduler::new();
+        let d = dev();
+        s.enqueue(req(0, 500));
+        s.enqueue(req(1, 100));
+        s.enqueue(req(2, 900));
+        // Head at 0: nearest is 100.
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 1);
+        // Head now at 108: nearest is 500 (vs 900).
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 0);
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 2);
+        assert!(s.pick(&d, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn greediness_can_starve_distant_requests() {
+        // The classic SSTF pathology the paper's σ²/µ² metric captures:
+        // a stream of nearby requests indefinitely delays a far one.
+        let mut s = SstfScheduler::new();
+        let d = dev();
+        s.enqueue(req(0, 900_000)); // far
+        for i in 1..10 {
+            s.enqueue(req(i, i * 10));
+        }
+        for _ in 0..9 {
+            let picked = s.pick(&d, SimTime::ZERO).unwrap();
+            assert_ne!(picked.id, 0, "far request must wait to the end");
+        }
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 0);
+    }
+
+    #[test]
+    fn duplicate_lbns_are_both_served() {
+        let mut s = SstfScheduler::new();
+        let d = dev();
+        s.enqueue(req(0, 42));
+        s.enqueue(req(1, 42));
+        assert_eq!(s.len(), 2);
+        let a = s.pick(&d, SimTime::ZERO).unwrap();
+        let b = s.pick(&d, SimTime::ZERO).unwrap();
+        assert_ne!(a.id, b.id);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn head_advances_to_request_end() {
+        let mut s = SstfScheduler::new();
+        let d = dev();
+        s.enqueue(req(0, 100));
+        let _ = s.pick(&d, SimTime::ZERO);
+        // Head should now be at 108; 109 beats 95 (distance 1 vs 13).
+        s.enqueue(req(1, 95));
+        s.enqueue(req(2, 109));
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! V(R): the continuum between SSTF and SCAN.
+//!
+//! The classic parameterized scheduler from the literature the paper's
+//! methodology builds on \[WGP94]: V(R) behaves like SSTF but charges a
+//! penalty of `R × full_sweep` for reversing direction. `R = 0` is pure
+//! SSTF; `R = 1` is effectively SCAN/LOOK (a reversal costs a full
+//! stroke, so the head never turns back early); intermediate values
+//! trade a little mean response time for a lot of starvation resistance
+//! — a useful knob on MEMS devices, where §4.2 shows SSTF and C-LOOK
+//! nearly tie on the mean but differ on σ²/µ².
+
+use std::collections::BTreeMap;
+
+use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+
+/// The V(R) scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use mems_os::sched::VrScheduler;
+/// use storage_sim::{ConstantDevice, IoKind, Request, Scheduler, SimTime};
+///
+/// // R = 0.2 over a 1000-sector device: reversing costs 200 virtual
+/// // sectors of distance.
+/// let mut s = VrScheduler::new(0.2, 1000);
+/// let d = ConstantDevice::new(1000, 1e-3);
+/// s.enqueue(Request::new(0, SimTime::ZERO, 100, 8, IoKind::Read));
+/// s.enqueue(Request::new(1, SimTime::ZERO, 900, 8, IoKind::Read));
+/// assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 0);
+/// ```
+#[derive(Debug)]
+pub struct VrScheduler {
+    pending: BTreeMap<(u64, u64), Request>,
+    head: u64,
+    /// +1 sweeping toward higher LBNs, −1 lower.
+    direction: i8,
+    /// Reversal penalty in sectors (R × capacity).
+    penalty: u64,
+    name: String,
+}
+
+impl VrScheduler {
+    /// Creates a V(R) scheduler for a device of `capacity` sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r` is in `[0, 1]` and `capacity` is nonzero.
+    pub fn new(r: f64, capacity: u64) -> Self {
+        assert!((0.0..=1.0).contains(&r), "R must be in [0,1]");
+        assert!(capacity > 0, "device must have capacity");
+        VrScheduler {
+            pending: BTreeMap::new(),
+            head: 0,
+            direction: 1,
+            penalty: (r * capacity as f64) as u64,
+            name: format!("V({r})"),
+        }
+    }
+}
+
+impl Scheduler for VrScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.pending.insert((req.lbn, req.id), req);
+    }
+
+    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        // Nearest candidates on each side of the head.
+        let below = self
+            .pending
+            .range(..=(self.head, u64::MAX))
+            .next_back()
+            .map(|(&k, _)| k);
+        let above = self
+            .pending
+            .range((self.head, u64::MAX)..)
+            .next()
+            .map(|(&k, _)| k);
+        // Effective distance: the off-direction candidate pays the
+        // reversal penalty.
+        let score = |key: (u64, u64), toward_higher: bool| -> u64 {
+            let dist = key.0.abs_diff(self.head);
+            let reversing =
+                (toward_higher && self.direction < 0) || (!toward_higher && self.direction > 0);
+            dist + if reversing { self.penalty } else { 0 }
+        };
+        let key = match (below, above) {
+            (None, None) => return None,
+            (Some(b), None) => b,
+            (None, Some(a)) => a,
+            (Some(b), Some(a)) => {
+                if score(b, false) <= score(a, true) {
+                    b
+                } else {
+                    a
+                }
+            }
+        };
+        let req = self.pending.remove(&key).expect("key just found");
+        self.direction = if req.lbn >= self.head { 1 } else { -1 };
+        self.head = req.end_lbn();
+        Some(req)
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_sim::{ConstantDevice, IoKind};
+
+    fn req(id: u64, lbn: u64) -> Request {
+        Request::new(id, SimTime::ZERO, lbn, 8, IoKind::Read)
+    }
+
+    fn dev() -> ConstantDevice {
+        ConstantDevice::new(1_000_000, 1e-3)
+    }
+
+    #[test]
+    fn r_zero_behaves_like_sstf() {
+        let mut vr = VrScheduler::new(0.0, 1_000_000);
+        let mut sstf = super::super::SstfScheduler::new();
+        let d = dev();
+        for (i, lbn) in [(0u64, 500u64), (1, 100), (2, 900), (3, 450), (4, 510)] {
+            vr.enqueue(req(i, lbn));
+            sstf.enqueue(req(i, lbn));
+        }
+        loop {
+            match (vr.pick(&d, SimTime::ZERO), sstf.pick(&d, SimTime::ZERO)) {
+                (Some(a), Some(b)) => assert_eq!(a.id, b.id),
+                (None, None) => break,
+                _ => panic!("schedulers drained unevenly"),
+            }
+        }
+    }
+
+    #[test]
+    fn r_one_sweeps_like_an_elevator() {
+        // With a full-stroke reversal penalty, the head keeps sweeping up
+        // past a slightly-closer request behind it.
+        let mut s = VrScheduler::new(1.0, 1_000_000);
+        let d = dev();
+        s.enqueue(req(0, 1000));
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 0);
+        // Head at 1008 moving up. A request 100 behind vs 5000 ahead:
+        // SSTF would reverse; V(1.0) keeps going.
+        s.enqueue(req(1, 908));
+        s.enqueue(req(2, 6008));
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 2);
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 1);
+    }
+
+    #[test]
+    fn intermediate_r_reverses_only_for_big_wins() {
+        let mut s = VrScheduler::new(0.01, 1_000_000); // penalty = 10_000
+        let d = dev();
+        s.enqueue(req(0, 50_000));
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 0);
+        // Head at 50_008 moving up. Behind by 3_000 vs ahead by 5_000:
+        // reversal effective distance 13_000 > 5_000, keep sweeping.
+        s.enqueue(req(1, 47_008));
+        s.enqueue(req(2, 55_008));
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 2);
+        // The remaining request is the only one pending; picked despite
+        // being behind (head moves to 47_016).
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 1);
+        // Now reversal for a big win: behind by 100 vs ahead by 50_000.
+        // Effective: 100 + 10_000 = 10_100 < 50_000 → reverse.
+        let head = 47_016;
+        s.enqueue(req(3, head - 100));
+        s.enqueue(req(4, head + 50_000));
+        assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 3);
+    }
+
+    #[test]
+    fn conserves_requests() {
+        let mut s = VrScheduler::new(0.3, 1_000_000);
+        let d = dev();
+        for i in 0..40u64 {
+            s.enqueue(req(i, (i * 997_001) % 900_000));
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(r) = s.pick(&d, SimTime::ZERO) {
+            assert!(seen.insert(r.id), "duplicate pick");
+        }
+        assert_eq!(seen.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "R must be")]
+    fn out_of_range_r_rejected() {
+        let _ = VrScheduler::new(1.5, 100);
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests for the OS-management layer's invariants.
+
+use mems_device::{MemsDevice, MemsParams};
+use mems_os::fault::{crc8, ReedSolomon, StripeCodec, TipSector};
+use mems_os::layout::{
+    Allocator, ColumnarLayout, DataClass, Layout, OrganPipeMap, SimpleLayout, SubregionedLayout,
+};
+use mems_os::sched::{Algorithm, ClookScheduler, LookScheduler, SstfScheduler};
+use proptest::prelude::*;
+use storage_sim::{IoKind, Request, Scheduler, SimTime};
+
+proptest! {
+    // 64 cases per property: several of these run whole scheduler/codec
+    // pipelines per case, and the default 256 makes `cargo test` crawl.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RS decode ∘ encode is the identity under any erasure pattern of at
+    /// most `m` losses.
+    #[test]
+    fn rs_recovers_any_erasure_pattern(
+        data in prop::collection::vec(any::<u8>(), 16),
+        mut losses in prop::collection::hash_set(0usize..20, 0..=4),
+    ) {
+        let rs = ReedSolomon::new(16, 4);
+        let encoded = rs.encode(&data);
+        let mut shards: Vec<Option<u8>> = encoded.into_iter().map(Some).collect();
+        losses.retain(|&i| i < shards.len());
+        for &i in &losses {
+            shards[i] = None;
+        }
+        let decoded = rs.decode(&shards);
+        prop_assert_eq!(decoded.as_deref(), Some(data.as_slice()));
+    }
+
+    /// Exceeding the parity budget always fails cleanly (no wrong data).
+    #[test]
+    fn rs_fails_cleanly_beyond_parity(
+        data in prop::collection::vec(any::<u8>(), 16),
+        start in 0usize..15,
+    ) {
+        let rs = ReedSolomon::new(16, 4);
+        let encoded = rs.encode(&data);
+        let mut shards: Vec<Option<u8>> = encoded.into_iter().map(Some).collect();
+        for i in 0..5 {
+            shards[(start + i * 3) % 20] = None;
+        }
+        let erased = shards.iter().filter(|s| s.is_none()).count();
+        let decoded = rs.decode(&shards);
+        if erased > 4 {
+            prop_assert_eq!(decoded, None);
+        } else {
+            prop_assert_eq!(decoded.as_deref(), Some(data.as_slice()));
+        }
+    }
+
+    /// The stripe codec round-trips any sector under any ≤8-tip damage.
+    #[test]
+    fn stripe_codec_round_trips(
+        seed in any::<u64>(),
+        damaged in prop::collection::hash_set(0usize..72, 0..=8),
+    ) {
+        let codec = StripeCodec::new(8);
+        let mut sector = [0u8; 512];
+        let mut x = seed | 1;
+        for b in sector.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (x >> 56) as u8;
+        }
+        let mut stripe = codec.encode(&sector);
+        for &t in &damaged {
+            stripe[t].data[(t * 3) % 8] ^= 0x5a;
+        }
+        prop_assert_eq!(codec.decode(&stripe), Some(sector));
+    }
+
+    /// The vertical check catches any nonzero corruption of a tip sector.
+    #[test]
+    fn vertical_check_detects_any_corruption(
+        data in any::<[u8; 8]>(),
+        flip in any::<[u8; 8]>(),
+    ) {
+        prop_assume!(flip.iter().any(|&b| b != 0));
+        let ts = TipSector::encode(data);
+        let mut bad = ts;
+        for (d, f) in bad.data.iter_mut().zip(flip.iter()) {
+            *d ^= f;
+        }
+        // CRC-8 detects all burst errors ≤8 bits and virtually all wider
+        // patterns; a same-CRC collision over random flips is possible in
+        // principle (p≈1/256) but the deterministic check below uses the
+        // actual CRC values.
+        if crc8(&bad.data) != crc8(&ts.data) {
+            prop_assert!(!bad.verify());
+        }
+    }
+
+    /// Organ pipe always produces a permutation with the hottest block in
+    /// the centermost slot.
+    #[test]
+    fn organ_pipe_builds_valid_permutations(
+        freqs in prop::collection::vec(0.0f64..100.0, 1..200),
+    ) {
+        let map = OrganPipeMap::build(&freqs);
+        let n = freqs.len();
+        let mut seen = vec![false; n];
+        for b in 0..n as u64 {
+            let p = map.physical_of(b);
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+            prop_assert_eq!(map.logical_of(p), b);
+        }
+        // The hottest block (ties broken by lowest index) sits center.
+        let hottest = (0..n)
+            .max_by(|&a, &b| freqs[a].partial_cmp(&freqs[b]).unwrap().then(b.cmp(&a)))
+            .unwrap();
+        prop_assert_eq!(map.physical_of(hottest as u64), (n / 2) as u64);
+    }
+
+    /// LBN-based schedulers are conservative: every enqueued request is
+    /// picked exactly once, regardless of interleaving.
+    #[test]
+    fn schedulers_lose_nothing(
+        lbns in prop::collection::vec(0u64..6_000_000, 1..60),
+        pick_between in prop::collection::vec(prop::bool::ANY, 1..60),
+    ) {
+        let dev = MemsDevice::new(MemsParams::default());
+        for alg in [Algorithm::SstfLbn, Algorithm::Clook, Algorithm::Sptf, Algorithm::Fcfs] {
+            let mut s = alg.build();
+            let mut picked = Vec::new();
+            for (i, &lbn) in lbns.iter().enumerate() {
+                s.enqueue(Request::new(i as u64, SimTime::ZERO, lbn, 8, IoKind::Read));
+                if *pick_between.get(i).unwrap_or(&false) {
+                    if let Some(r) = s.pick(&dev, SimTime::ZERO) {
+                        picked.push(r.id);
+                    }
+                }
+            }
+            while let Some(r) = s.pick(&dev, SimTime::ZERO) {
+                picked.push(r.id);
+            }
+            picked.sort_unstable();
+            let expected: Vec<u64> = (0..lbns.len() as u64).collect();
+            prop_assert_eq!(&picked, &expected, "{} lost/duplicated requests", alg.label());
+        }
+    }
+
+    /// LOOK and SSTF also conserve requests.
+    #[test]
+    fn extension_schedulers_lose_nothing(
+        lbns in prop::collection::vec(0u64..6_000_000, 1..50),
+    ) {
+        let dev = MemsDevice::new(MemsParams::default());
+        let mut look = LookScheduler::new();
+        let mut sstf = SstfScheduler::new();
+        let mut clook = ClookScheduler::new();
+        for (i, &lbn) in lbns.iter().enumerate() {
+            let r = Request::new(i as u64, SimTime::ZERO, lbn, 8, IoKind::Read);
+            look.enqueue(r);
+            sstf.enqueue(r);
+            clook.enqueue(r);
+        }
+        for s in [&mut look as &mut dyn Scheduler, &mut sstf, &mut clook] {
+            let mut count = 0;
+            while s.pick(&dev, SimTime::ZERO).is_some() {
+                count += 1;
+            }
+            prop_assert_eq!(count, lbns.len());
+        }
+    }
+
+    /// Allocator invariant: live extents never overlap and stay inside
+    /// their class regions, across arbitrary alloc/free interleavings.
+    #[test]
+    fn allocator_extents_never_overlap(
+        ops in prop::collection::vec((any::<bool>(), 1u64..200), 1..80),
+    ) {
+        let layout = SimpleLayout::new(50_000);
+        let mut a = Allocator::new(&layout);
+        let mut live: Vec<mems_os::layout::Extent> = Vec::new();
+        for (free_instead, size) in ops {
+            if free_instead && !live.is_empty() {
+                let e = live.swap_remove(live.len() / 2);
+                a.release(DataClass::Small, e);
+            } else if let Some(e) = a.allocate(DataClass::Small, size) {
+                prop_assert!(e.end() <= 50_000);
+                for other in &live {
+                    prop_assert!(
+                        e.end() <= other.lbn || other.end() <= e.lbn,
+                        "overlap {:?} vs {:?}", e, other
+                    );
+                }
+                live.push(e);
+            }
+        }
+        // Free everything: the region must coalesce back to one run.
+        for e in live.drain(..) {
+            a.release(DataClass::Small, e);
+        }
+        prop_assert_eq!(a.free_sectors(DataClass::Small), 50_000);
+        prop_assert_eq!(a.fragmentation(DataClass::Small), 0.0);
+    }
+
+    /// Every layout keeps its two regions disjoint and large requests
+    /// placeable.
+    #[test]
+    fn layouts_have_disjoint_usable_regions(seed in any::<u64>()) {
+        let geom = MemsParams::default().geometry();
+        let capacity = geom.total_sectors();
+        let layouts: Vec<Box<dyn Layout>> = vec![
+            Box::new(SimpleLayout::new(capacity)),
+            Box::new(ColumnarLayout::new(&geom)),
+            Box::new(SubregionedLayout::new(&geom)),
+            Box::new(mems_os::layout::OrganPipeLayout::paper(capacity)),
+        ];
+        let _ = seed;
+        for l in &layouts {
+            if l.name() != "simple" {
+                for s in l.small_ranges() {
+                    for g in l.large_ranges() {
+                        prop_assert!(s.end <= g.start || g.end <= s.start);
+                    }
+                }
+            }
+            prop_assert!(l.large_ranges().iter().any(|r| r.end - r.start >= 800));
+            prop_assert!(l.small_ranges().iter().any(|r| r.end - r.start >= 8));
+            for r in l.small_ranges().iter().chain(l.large_ranges()) {
+                prop_assert!(r.end <= capacity);
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The rotating-disk service-time model.
+//!
+//! [`DiskDevice`] mirrors the granularity of DiskSim's validated disk
+//! module for the purposes of the paper's experiments: seek time from a
+//! calibrated distance curve, rotational latency from the absolute
+//! simulated time (the platter spins regardless of what the host does —
+//! the key contrast with the MEMS sled, §2.4.8), zoned transfer rates, and
+//! head/cylinder switches with skewed layout during multi-track transfers.
+
+use storage_sim::{IoKind, Request, ServiceBreakdown, SimTime, StorageDevice};
+
+use crate::geometry::DiskMapper;
+use crate::params::DiskParams;
+use crate::seek::SeekCurve;
+
+/// A zoned, rotating disk drive behind the [`StorageDevice`] interface.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_disk::{DiskDevice, DiskParams};
+/// use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+///
+/// let mut disk = DiskDevice::new(DiskParams::quantum_atlas_10k());
+/// let req = Request::new(0, SimTime::ZERO, 1_000_000, 8, IoKind::Read);
+/// let b = disk.service(&req, SimTime::ZERO);
+/// // A random 4 KB disk access costs several milliseconds.
+/// assert!(b.total() > 2e-3 && b.total() < 20e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskDevice {
+    mapper: DiskMapper,
+    curve: SeekCurve,
+    /// Arm position.
+    cylinder: u32,
+    /// Active head.
+    head: u32,
+}
+
+impl DiskDevice {
+    /// Builds a drive from parameters, arm parked at cylinder 0.
+    pub fn new(params: DiskParams) -> Self {
+        let curve = SeekCurve::calibrate(
+            params.cylinders,
+            params.seek_one,
+            params.seek_avg,
+            params.seek_full,
+        );
+        DiskDevice {
+            mapper: DiskMapper::new(params),
+            curve,
+            cylinder: 0,
+            head: 0,
+        }
+    }
+
+    /// The drive parameters.
+    pub fn params(&self) -> &DiskParams {
+        self.mapper.params()
+    }
+
+    /// The seek curve.
+    pub fn seek_curve(&self) -> &SeekCurve {
+        &self.curve
+    }
+
+    /// Current arm cylinder.
+    pub fn arm_cylinder(&self) -> u32 {
+        self.cylinder
+    }
+
+    /// Rotational position (fraction of a revolution) at absolute time `t`.
+    pub fn rotation_at(&self, t: SimTime) -> f64 {
+        let rev = self.params().revolution_time();
+        (t.as_secs() / rev).rem_euclid(1.0)
+    }
+
+    /// Computes the positioning components for a request issued at `now`
+    /// from the current arm position: (arm time, rotational latency).
+    fn positioning(&self, req: &Request, now: SimTime) -> (f64, f64) {
+        let addr = self.mapper.decompose(req.lbn);
+        let distance = self.cylinder.abs_diff(addr.cylinder);
+        let mut arm = if distance > 0 {
+            let mut t = self.curve.time(distance);
+            if req.kind == IoKind::Write {
+                t += self.params().write_settle;
+            }
+            t
+        } else if addr.head != self.head {
+            self.params().head_switch
+        } else {
+            0.0
+        };
+        // A head switch overlaps a seek; it only costs time on its own.
+        if distance > 0 && addr.head != self.head {
+            arm = arm.max(self.params().head_switch);
+        }
+        let rev = self.params().revolution_time();
+        let ready = now.as_secs() + self.params().overhead + arm;
+        let pos = (ready / rev).rem_euclid(1.0);
+        let target = self.mapper.angle_of(addr);
+        let latency = (target - pos).rem_euclid(1.0) * rev;
+        (arm, latency)
+    }
+
+    /// Media transfer time for the whole request, including intra-request
+    /// head switches and single-cylinder seeks (whose rotational cost is
+    /// absorbed by the track/cylinder skew). Returns the transfer time and
+    /// the final (cylinder, head).
+    fn transfer(&self, req: &Request) -> (f64, u32, u32) {
+        let mut remaining = u64::from(req.sectors);
+        let mut lbn = req.lbn;
+        let mut time = 0.0;
+        let mut end_cyl = self.cylinder;
+        let mut end_head = self.head;
+        let mut first = true;
+        while remaining > 0 {
+            let addr = self.mapper.decompose(lbn);
+            if !first {
+                if addr.cylinder != end_cyl {
+                    time += self.params().seek_one;
+                } else if addr.head != end_head {
+                    time += self.params().head_switch;
+                }
+            }
+            let track_left = u64::from(addr.sectors_per_track - addr.sector);
+            let chunk = remaining.min(track_left);
+            time += chunk as f64 * self.mapper.sector_time(addr);
+            lbn += chunk;
+            remaining -= chunk;
+            end_cyl = addr.cylinder;
+            end_head = addr.head;
+            first = false;
+        }
+        (time, end_cyl, end_head)
+    }
+}
+
+impl StorageDevice for DiskDevice {
+    fn name(&self) -> &str {
+        &self.params().name
+    }
+
+    fn capacity_lbns(&self) -> u64 {
+        self.params().total_sectors()
+    }
+
+    fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown {
+        assert!(
+            req.end_lbn() <= self.capacity_lbns(),
+            "request beyond disk capacity"
+        );
+        let (arm, latency) = self.positioning(req, now);
+        let (transfer, end_cyl, end_head) = self.transfer(req);
+        self.cylinder = end_cyl;
+        self.head = end_head;
+        ServiceBreakdown {
+            positioning: arm + latency,
+            seek_x: arm,
+            rotation: latency,
+            transfer,
+            overhead: self.params().overhead,
+            ..ServiceBreakdown::default()
+        }
+    }
+
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        let (arm, latency) = self.positioning(req, now);
+        arm + latency
+    }
+
+    fn reset(&mut self) {
+        self.cylinder = 0;
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> DiskDevice {
+        DiskDevice::new(DiskParams::quantum_atlas_10k())
+    }
+
+    fn req(lbn: u64, sectors: u32, kind: IoKind) -> Request {
+        Request::new(0, SimTime::ZERO, lbn, sectors, kind)
+    }
+
+    #[test]
+    fn capacity_matches_params() {
+        let d = disk();
+        assert_eq!(d.capacity_lbns(), d.params().total_sectors());
+    }
+
+    #[test]
+    fn same_track_read_has_no_arm_time() {
+        let mut d = disk();
+        let b = d.service(&req(0, 8, IoKind::Read), SimTime::ZERO);
+        assert_eq!(b.seek_x, 0.0);
+        assert!(b.rotation >= 0.0);
+        // 8 sectors in the outer zone ≈ 0.14 ms (Table 2).
+        assert!((b.transfer - 8.0 * 5.985e-3 / 334.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_track_transfer_is_one_revolution() {
+        // Table 2: 334 sectors ≈ 6.00 ms.
+        let mut d = disk();
+        let b = d.service(&req(0, 334, IoKind::Read), SimTime::ZERO);
+        assert!(
+            (b.transfer - 5.985e-3).abs() < 1e-6,
+            "transfer {}",
+            b.transfer
+        );
+    }
+
+    #[test]
+    fn long_seeks_cost_milliseconds() {
+        let mut d = disk();
+        let far = d.capacity_lbns() - 400;
+        let b = d.service(&req(far, 8, IoKind::Read), SimTime::ZERO);
+        assert!(b.seek_x > 9e-3, "full-stroke-ish seek {}", b.seek_x);
+        assert_eq!(d.arm_cylinder(), d.params().cylinders - 1);
+    }
+
+    #[test]
+    fn writes_pay_extra_settle() {
+        let d = disk();
+        let r_read = req(1_000_000, 8, IoKind::Read);
+        let r_write = req(1_000_000, 8, IoKind::Write);
+        let (arm_r, _) = d.positioning(&r_read, SimTime::ZERO);
+        let (arm_w, _) = d.positioning(&r_write, SimTime::ZERO);
+        assert!((arm_w - arm_r - d.params().write_settle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotational_latency_depends_on_issue_time() {
+        let d = disk();
+        let r = req(100, 1, IoKind::Read);
+        let (_, lat0) = d.positioning(&r, SimTime::ZERO);
+        let (_, lat1) = d.positioning(&r, SimTime::from_ms(1.0));
+        // One millisecond later the platter has turned ~1/6 revolution, so
+        // the latency to the same sector changes accordingly.
+        let rev = d.params().revolution_time();
+        let expected = (lat0 - 1e-3).rem_euclid(rev);
+        assert!((lat1 - expected).abs() < 1e-9, "lat0 {lat0} lat1 {lat1}");
+    }
+
+    #[test]
+    fn rotational_latency_is_bounded_by_a_revolution() {
+        let d = disk();
+        for lbn in [0u64, 12345, 999_999, 5_000_000] {
+            for t_ms in [0.0, 0.7, 3.3, 17.9] {
+                let (_, lat) = d.positioning(&req(lbn, 4, IoKind::Read), SimTime::from_ms(t_ms));
+                assert!((0.0..d.params().revolution_time()).contains(&lat));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_track_transfer_charges_switches() {
+        let mut d = disk();
+        // 700 sectors span three tracks in the outer zone.
+        let b = d.service(&req(0, 700, IoKind::Read), SimTime::ZERO);
+        let pure_media = 700.0 * 5.985e-3 / 334.0;
+        assert!(b.transfer > pure_media, "switches must add time");
+        assert!(b.transfer < pure_media + 3.0 * d.params().head_switch + 1e-9);
+    }
+
+    #[test]
+    fn read_modify_write_costs_a_full_rotation() {
+        // §6.2 / Table 2: returning to the just-read sectors costs the
+        // disk most of a revolution.
+        let mut d = disk();
+        let rev = d.params().revolution_time();
+        let read = d.service(&req(0, 8, IoKind::Read), SimTime::ZERO);
+        let end = SimTime::from_secs(read.total());
+        let (_, reposition) = d.positioning(&req(0, 8, IoKind::Write), end);
+        assert!(
+            reposition > rev - read.transfer - d.params().overhead - 1e-6,
+            "reposition {reposition} should be nearly a revolution"
+        );
+    }
+
+    #[test]
+    fn position_time_does_not_mutate() {
+        let d = disk();
+        let r = req(5_000_000, 8, IoKind::Read);
+        let t1 = d.position_time(&r, SimTime::ZERO);
+        let t2 = d.position_time(&r, SimTime::ZERO);
+        assert_eq!(t1, t2);
+        assert_eq!(d.arm_cylinder(), 0);
+    }
+
+    #[test]
+    fn reset_parks_the_arm() {
+        let mut d = disk();
+        let _ = d.service(&req(8_000_000, 8, IoKind::Read), SimTime::ZERO);
+        assert_ne!(d.arm_cylinder(), 0);
+        d.reset();
+        assert_eq!(d.arm_cylinder(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond disk capacity")]
+    fn oversized_request_rejected() {
+        let mut d = disk();
+        let r = req(d.capacity_lbns() - 4, 8, IoKind::Read);
+        let _ = d.service(&r, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,216 @@
+//! Zoned LBN-to-physical mapping with track and cylinder skew.
+//!
+//! LBNs fill tracks in rotational order, surfaces within a cylinder, then
+//! cylinders within a zone, outermost zone first — the sequential-optimal
+//! mapping of real drives. Track and cylinder skews offset the rotational
+//! position of sector 0 on successive tracks so sequential transfers don't
+//! miss a revolution at each switch.
+
+use crate::params::DiskParams;
+
+/// A decomposed physical disk address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskAddr {
+    /// Cylinder number.
+    pub cylinder: u32,
+    /// Head (surface) number.
+    pub head: u32,
+    /// Sector index within the track, `0..sectors_per_track` of the zone.
+    pub sector: u32,
+    /// Sectors per track in the containing zone.
+    pub sectors_per_track: u32,
+}
+
+/// Maps LBNs to physical addresses and rotational angles for one drive.
+#[derive(Debug, Clone)]
+pub struct DiskMapper {
+    params: DiskParams,
+    /// Track skew in sectors, per zone index.
+    track_skew: Vec<u32>,
+    /// Cylinder skew in sectors, per zone index.
+    cylinder_skew: Vec<u32>,
+}
+
+impl DiskMapper {
+    /// Builds a mapper, deriving skews from the head-switch and
+    /// single-cylinder seek times.
+    pub fn new(params: DiskParams) -> Self {
+        params.validate();
+        let rev = params.revolution_time();
+        let track_skew = params
+            .zones
+            .iter()
+            .map(|z| {
+                ((params.head_switch / rev) * f64::from(z.sectors_per_track)).ceil() as u32
+                    % z.sectors_per_track
+            })
+            .collect();
+        let cylinder_skew = params
+            .zones
+            .iter()
+            .map(|z| {
+                ((params.seek_one / rev) * f64::from(z.sectors_per_track)).ceil() as u32
+                    % z.sectors_per_track
+            })
+            .collect();
+        DiskMapper {
+            params,
+            track_skew,
+            cylinder_skew,
+        }
+    }
+
+    /// The underlying parameters.
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Decomposes an LBN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbn` exceeds the drive capacity.
+    pub fn decompose(&self, lbn: u64) -> DiskAddr {
+        let zone = self.params.zone_of(lbn);
+        let spt = u64::from(zone.sectors_per_track);
+        let rel = lbn - zone.first_lbn;
+        let per_cyl = spt * u64::from(self.params.heads);
+        let cylinder = zone.first_cylinder + (rel / per_cyl) as u32;
+        let head = ((rel % per_cyl) / spt) as u32;
+        let sector = (rel % spt) as u32;
+        DiskAddr {
+            cylinder,
+            head,
+            sector,
+            sectors_per_track: zone.sectors_per_track,
+        }
+    }
+
+    /// Composes a physical address back into an LBN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or inconsistent with its
+    /// zone's geometry.
+    pub fn compose(&self, addr: DiskAddr) -> u64 {
+        let zone = self.params.zone_of_cylinder(addr.cylinder);
+        assert_eq!(zone.sectors_per_track, addr.sectors_per_track);
+        assert!(addr.head < self.params.heads && addr.sector < zone.sectors_per_track);
+        let spt = u64::from(zone.sectors_per_track);
+        zone.first_lbn
+            + u64::from(addr.cylinder - zone.first_cylinder) * spt * u64::from(self.params.heads)
+            + u64::from(addr.head) * spt
+            + u64::from(addr.sector)
+    }
+
+    /// Rotational angle (fraction of a revolution in `[0, 1)`) at which
+    /// the addressed sector begins, accounting for track and cylinder
+    /// skew.
+    pub fn angle_of(&self, addr: DiskAddr) -> f64 {
+        let zone_idx = self
+            .params
+            .zones
+            .iter()
+            .position(|z| {
+                z.first_cylinder == self.params.zone_of_cylinder(addr.cylinder).first_cylinder
+            })
+            .expect("zone exists");
+        let spt = addr.sectors_per_track;
+        let zone = &self.params.zones[zone_idx];
+        let skew = (u64::from(self.track_skew[zone_idx]) * u64::from(addr.head)
+            + u64::from(self.cylinder_skew[zone_idx])
+                * u64::from(addr.cylinder - zone.first_cylinder))
+            % u64::from(spt);
+        let effective = (u64::from(addr.sector) + skew) % u64::from(spt);
+        effective as f64 / f64::from(spt)
+    }
+
+    /// Time to transfer one sector in the zone of `addr`, seconds.
+    pub fn sector_time(&self, addr: DiskAddr) -> f64 {
+        self.params.revolution_time() / f64::from(addr.sectors_per_track)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper() -> DiskMapper {
+        DiskMapper::new(DiskParams::quantum_atlas_10k())
+    }
+
+    #[test]
+    fn lbn_zero_is_outer_origin() {
+        let m = mapper();
+        let a = m.decompose(0);
+        assert_eq!((a.cylinder, a.head, a.sector), (0, 0, 0));
+        assert_eq!(a.sectors_per_track, 334);
+    }
+
+    #[test]
+    fn round_trip_across_zones() {
+        let m = mapper();
+        let total = m.params().total_sectors();
+        for lbn in [
+            0,
+            333,
+            334,
+            334 * 6 - 1,
+            334 * 6,
+            total / 3,
+            total / 2,
+            total - 1,
+        ] {
+            assert_eq!(m.compose(m.decompose(lbn)), lbn, "lbn {lbn}");
+        }
+    }
+
+    #[test]
+    fn sequential_lbns_fill_track_head_cylinder_in_order() {
+        let m = mapper();
+        assert_eq!(m.decompose(333).sector, 333);
+        let next = m.decompose(334);
+        assert_eq!((next.head, next.sector), (1, 0));
+        let next_cyl = m.decompose(334 * 6);
+        assert_eq!((next_cyl.cylinder, next_cyl.head), (1, 0));
+    }
+
+    #[test]
+    fn inner_zone_has_fewer_sectors() {
+        let m = mapper();
+        let last = m.decompose(m.params().total_sectors() - 1);
+        assert_eq!(last.sectors_per_track, 229);
+        assert_eq!(last.cylinder, m.params().cylinders - 1);
+    }
+
+    #[test]
+    fn angle_is_fraction_of_revolution() {
+        let m = mapper();
+        for lbn in [0u64, 100, 5000, 1_000_000] {
+            let a = m.angle_of(m.decompose(lbn));
+            assert!((0.0..1.0).contains(&a), "angle {a}");
+        }
+        // Sector 0 head 0 cylinder 0 has no skew.
+        assert_eq!(m.angle_of(m.decompose(0)), 0.0);
+    }
+
+    #[test]
+    fn track_skew_shifts_successive_heads() {
+        let m = mapper();
+        // Head 1 sector 0 should not sit at angle 0 (it is skewed so a
+        // head switch during sequential access does not miss a rotation).
+        let a = m.angle_of(m.decompose(334));
+        assert!(a > 0.0, "track skew missing");
+        // Skew roughly covers the head-switch time.
+        let skew_time = a * m.params().revolution_time();
+        assert!(skew_time >= m.params().head_switch - 1e-9);
+        assert!(skew_time < m.params().head_switch + 2.0 * m.sector_time(m.decompose(334)));
+    }
+
+    #[test]
+    fn sector_time_matches_zone_rate() {
+        let m = mapper();
+        let outer = m.sector_time(m.decompose(0));
+        assert!((outer - 5.985e-3 / 334.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! The disk seek-time curve.
+//!
+//! Seek time as a function of cylinder distance follows the classic
+//! two-piece shape validated against real drives by Ruemmler & Wilkes and
+//! used by DiskSim: proportional to the square root of the distance for
+//! short seeks (the arm never reaches full velocity) and linear for long
+//! seeks (constant-velocity coast dominates). The curve is calibrated to
+//! three published points — single-cylinder, average, and full-stroke —
+//! and unlike the MEMS sled it depends only on the distance, not on the
+//! start cylinder or direction (§2.4.4).
+
+/// A calibrated seek-time curve.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_disk::SeekCurve;
+///
+/// // Atlas 10K calibration: 1.245 ms / 5.0 ms / 10.828 ms.
+/// let curve = SeekCurve::calibrate(10_042, 1.245e-3, 5.0e-3, 10.828e-3);
+/// assert_eq!(curve.time(0), 0.0);
+/// assert!((curve.time(1) - 1.245e-3).abs() < 1e-9);
+/// assert!((curve.time(10_041) - 10.828e-3).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekCurve {
+    /// sqrt-region constant term, seconds.
+    a: f64,
+    /// sqrt-region coefficient, seconds per sqrt(cylinder).
+    b: f64,
+    /// linear-region constant term, seconds.
+    c: f64,
+    /// linear-region slope, seconds per cylinder.
+    d: f64,
+    /// Crossover distance between the two regions, cylinders.
+    knee: u32,
+}
+
+impl SeekCurve {
+    /// Calibrates a curve for a drive with `cylinders` cylinders from its
+    /// single-cylinder, average (uniform random pairs, ≈ distance N/3),
+    /// and full-stroke seek times.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < seek_one <= seek_avg <= seek_full` and the drive
+    /// has at least a handful of cylinders.
+    pub fn calibrate(cylinders: u32, seek_one: f64, seek_avg: f64, seek_full: f64) -> Self {
+        assert!(cylinders > 16, "too few cylinders to calibrate");
+        assert!(seek_one > 0.0 && seek_one <= seek_avg && seek_avg <= seek_full);
+        let n = f64::from(cylinders);
+        // Linear region through (N/3, avg) and (N-1, full).
+        let d_avg = n / 3.0;
+        let d_full = n - 1.0;
+        let d = (seek_full - seek_avg) / (d_full - d_avg);
+        let c = seek_avg - d * d_avg;
+        // Knee where the linear region would undercut the short-seek
+        // budget: put it at 6% of the stroke (a few hundred cylinders for
+        // the Atlas 10K), then fit the sqrt region through (1, seek_one)
+        // and continuity at the knee.
+        let knee = ((n * 0.06) as u32).max(4);
+        let t_knee = c + d * f64::from(knee);
+        let b = (t_knee - seek_one) / (f64::from(knee).sqrt() - 1.0);
+        let a = seek_one - b;
+        let curve = SeekCurve { a, b, c, d, knee };
+        assert!(
+            b > 0.0,
+            "seek curve calibration produced a non-monotonic short region"
+        );
+        curve
+    }
+
+    /// Seek time for a cylinder distance, seconds. Zero distance is free.
+    pub fn time(&self, distance: u32) -> f64 {
+        if distance == 0 {
+            0.0
+        } else if distance <= self.knee {
+            self.a + self.b * f64::from(distance).sqrt()
+        } else {
+            self.c + self.d * f64::from(distance)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atlas_curve() -> SeekCurve {
+        SeekCurve::calibrate(10_042, 1.245e-3, 5.0e-3, 10.828e-3)
+    }
+
+    #[test]
+    fn calibration_hits_anchor_points() {
+        let c = atlas_curve();
+        assert!((c.time(1) - 1.245e-3).abs() < 1e-12);
+        assert!((c.time(10_042 / 3) - 5.0e-3).abs() < 2e-5);
+        assert!((c.time(10_041) - 10.828e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn curve_is_monotonic_nondecreasing() {
+        let c = atlas_curve();
+        let mut last = 0.0;
+        for d in 0..10_042 {
+            let t = c.time(d);
+            assert!(
+                t >= last - 1e-12,
+                "seek time decreased at distance {d}: {t} < {last}"
+            );
+            last = t;
+        }
+    }
+
+    #[test]
+    fn curve_is_continuous_at_the_knee() {
+        let c = atlas_curve();
+        let before = c.time(c.knee);
+        let after = c.time(c.knee + 1);
+        assert!(
+            (after - before).abs() < 0.1e-3,
+            "discontinuity at knee: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn short_seeks_flatten_like_sqrt() {
+        // Doubling a short distance must much less than double the time.
+        let c = atlas_curve();
+        let t100 = c.time(100);
+        let t400 = c.time(400);
+        assert!(t400 < 1.8 * t100, "short region should be sub-linear");
+    }
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(atlas_curve().time(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "seek_one")]
+    fn bad_calibration_rejected() {
+        let _ = SeekCurve::calibrate(10_000, 5.0e-3, 2.0e-3, 10.0e-3);
+    }
+}

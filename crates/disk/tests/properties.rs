@@ -1,0 +1,84 @@
+//! Property-based tests for the disk model's invariants.
+
+use atlas_disk::{DiskDevice, DiskMapper, DiskParams, SeekCurve};
+use proptest::prelude::*;
+use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+
+proptest! {
+    /// LBN → address → LBN is the identity across all zones.
+    #[test]
+    fn lbn_round_trips(lbn in 0u64..16_900_000) {
+        let m = DiskMapper::new(DiskParams::quantum_atlas_10k());
+        prop_assume!(lbn < m.params().total_sectors());
+        prop_assert_eq!(m.compose(m.decompose(lbn)), lbn);
+    }
+
+    /// Addresses decompose into their zone's bounds.
+    #[test]
+    fn decomposed_addresses_are_in_bounds(lbn in 0u64..16_900_000) {
+        let m = DiskMapper::new(DiskParams::quantum_atlas_10k());
+        prop_assume!(lbn < m.params().total_sectors());
+        let a = m.decompose(lbn);
+        prop_assert!(a.cylinder < m.params().cylinders);
+        prop_assert!(a.head < m.params().heads);
+        prop_assert!(a.sector < a.sectors_per_track);
+        let zone = m.params().zone_of_cylinder(a.cylinder);
+        prop_assert_eq!(zone.sectors_per_track, a.sectors_per_track);
+    }
+
+    /// The seek curve is monotone non-decreasing in distance.
+    #[test]
+    fn seek_curve_is_monotone(d in 1u32..10_041) {
+        let c = SeekCurve::calibrate(10_042, 1.245e-3, 5.0e-3, 10.828e-3);
+        prop_assert!(c.time(d) <= c.time(d + 1) + 1e-12);
+        prop_assert!(c.time(d) > 0.0);
+    }
+
+    /// Rotational angles are always in [0, 1).
+    #[test]
+    fn rotational_angles_are_normalized(lbn in 0u64..16_900_000) {
+        let m = DiskMapper::new(DiskParams::quantum_atlas_10k());
+        prop_assume!(lbn < m.params().total_sectors());
+        let angle = m.angle_of(m.decompose(lbn));
+        prop_assert!((0.0..1.0).contains(&angle));
+    }
+
+    /// Every in-range request gets a finite, positive service time whose
+    /// components are sane, regardless of arm position or issue time.
+    #[test]
+    fn service_is_sane(
+        lbn in 0u64..16_000_000,
+        sectors in 1u32..2048,
+        park in 0u64..16_000_000,
+        at_ms in 0.0f64..100.0,
+        write in prop::bool::ANY,
+    ) {
+        let mut d = DiskDevice::new(DiskParams::quantum_atlas_10k());
+        let capacity = d.capacity_lbns();
+        prop_assume!(park < capacity);
+        prop_assume!(lbn + u64::from(sectors) <= capacity);
+        // Park the arm somewhere first.
+        let _ = d.service(&Request::new(0, SimTime::ZERO, park, 1, IoKind::Read), SimTime::ZERO);
+        let kind = if write { IoKind::Write } else { IoKind::Read };
+        let req = Request::new(1, SimTime::from_ms(at_ms), lbn, sectors, kind);
+        let b = d.service(&req, SimTime::from_ms(at_ms));
+        prop_assert!(b.total().is_finite() && b.total() > 0.0);
+        prop_assert!(b.rotation >= 0.0 && b.rotation < 6e-3, "rotation {}", b.rotation);
+        prop_assert!(b.seek_x >= 0.0 && b.seek_x < 12e-3);
+        prop_assert!(b.transfer > 0.0);
+        // Transfer of n sectors takes at least n outer-zone sector times.
+        let min_transfer = f64::from(sectors) * 5.985e-3 / 334.0;
+        prop_assert!(b.transfer >= min_transfer - 1e-12);
+    }
+
+    /// Seek time from the curve never exceeds full-stroke + settle.
+    #[test]
+    fn position_time_is_bounded(lbn in 0u64..16_000_000, at_ms in 0.0f64..50.0) {
+        let d = DiskDevice::new(DiskParams::quantum_atlas_10k());
+        prop_assume!(lbn + 8 <= d.capacity_lbns());
+        let req = Request::new(0, SimTime::from_ms(at_ms), lbn, 8, IoKind::Read);
+        let t = d.position_time(&req, SimTime::from_ms(at_ms));
+        // Max = full-stroke seek + one revolution + overhead slack.
+        prop_assert!((0.0..11e-3 + 6e-3 + 1e-3).contains(&t), "position {t}");
+    }
+}

@@ -1,0 +1,435 @@
+//! The MEMS storage device service-time model.
+//!
+//! [`MemsDevice`] combines the spring-sled kinematics with the tip-region
+//! geometry to service block requests the way the paper's DiskSim module
+//! does (§3): split the request into track-contiguous row segments, seek X
+//! and Y in parallel to the first segment (charging X settle), stream rows
+//! at the fixed access velocity, and switch tracks/cylinders with
+//! turnarounds whose cost depends on sled position and direction.
+
+use storage_sim::{Request, ServiceBreakdown, SimTime, StorageDevice};
+
+use crate::geometry::{Mapper, Segment};
+use crate::kinematics::SpringSled;
+use crate::params::{MemsGeometry, MemsParams};
+
+/// Mechanical state of the media sled between requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SledState {
+    /// X offset from center, meters.
+    pub x: f64,
+    /// Y offset from center, meters.
+    pub y: f64,
+    /// Y velocity, m/s (±access velocity after a transfer, 0 at rest).
+    pub vy: f64,
+}
+
+impl SledState {
+    /// The sled at rest in the center of its travel.
+    pub const CENTERED: SledState = SledState {
+        x: 0.0,
+        y: 0.0,
+        vy: 0.0,
+    };
+}
+
+/// A MEMS-based storage device (movable media sled over a fixed probe-tip
+/// array) exposed through the disk-like [`StorageDevice`] interface.
+///
+/// # Examples
+///
+/// ```
+/// use mems_device::{MemsDevice, MemsParams};
+/// use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+///
+/// let mut dev = MemsDevice::new(MemsParams::default());
+/// let req = Request::new(0, SimTime::ZERO, 123_456, 8, IoKind::Read);
+/// let b = dev.service(&req, SimTime::ZERO);
+/// // A random 4 KB access takes on the order of half a millisecond (§2.1).
+/// assert!(b.total() > 0.1e-3 && b.total() < 1.5e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemsDevice {
+    params: MemsParams,
+    geom: MemsGeometry,
+    mapper: Mapper,
+    sled_x: SpringSled,
+    sled_y: SpringSled,
+    state: SledState,
+    name: String,
+}
+
+impl MemsDevice {
+    /// Builds a device from parameters, sled centered and at rest.
+    pub fn new(params: MemsParams) -> Self {
+        let geom = params.geometry();
+        let mapper = Mapper::new(&params);
+        let sled = SpringSled::from_spring_factor(
+            params.accel,
+            params.spring_factor,
+            params.half_mobility(),
+        );
+        let name = format!(
+            "MEMS ({} settle constant{})",
+            params.settle_constants,
+            if params.settle_constants == 1.0 {
+                ""
+            } else {
+                "s"
+            }
+        );
+        MemsDevice {
+            params,
+            geom,
+            mapper,
+            sled_x: sled,
+            sled_y: sled,
+            state: SledState::CENTERED,
+            name,
+        }
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &MemsParams {
+        &self.params
+    }
+
+    /// The derived geometry.
+    pub fn geometry(&self) -> &MemsGeometry {
+        &self.geom
+    }
+
+    /// The LBN mapper.
+    pub fn mapper(&self) -> &Mapper {
+        &self.mapper
+    }
+
+    /// The Y-axis kinematic model (shared with X).
+    pub fn sled(&self) -> &SpringSled {
+        &self.sled_y
+    }
+
+    /// Current mechanical state.
+    pub fn state(&self) -> SledState {
+        self.state
+    }
+
+    /// Overrides the mechanical state (used by the physical-layout
+    /// experiment harnesses, e.g. Fig. 9's subregion sweeps).
+    pub fn set_state(&mut self, state: SledState) {
+        self.state = state;
+    }
+
+    /// Positioning plan for one segment from a given state: X seek time,
+    /// settle, Y seek time, and the post-transfer state.
+    fn plan_segment(&self, from: SledState, seg: &Segment) -> SegmentPlan {
+        let x_target = self.mapper.x_of_cylinder(seg.cylinder);
+        let moved_x = (x_target - from.x).abs() > 1e-12;
+        let seek_x = if moved_x {
+            self.sled_x.rest_seek_time(from.x, x_target)
+        } else {
+            0.0
+        };
+        let settle = if moved_x {
+            self.params.settle_time()
+        } else {
+            0.0
+        };
+
+        let v = self.params.access_velocity();
+        let y_top = self.mapper.y_of_row_start(seg.row_start);
+        let y_bot = self.mapper.y_of_row_end(seg.row_end);
+        // The media can be accessed in either Y direction (§2.2); choose
+        // the cheaper approach: read rows forward (enter at the top moving
+        // +v) or backward (enter at the bottom moving −v).
+        let t_fwd = self.sled_y.seek_time(from.y, from.vy, y_top, v);
+        let t_bwd = self.sled_y.seek_time(from.y, from.vy, y_bot, -v);
+        let (seek_y, end_y, end_vy) = if t_fwd <= t_bwd {
+            (t_fwd, y_bot, v)
+        } else {
+            (t_bwd, y_top, -v)
+        };
+
+        let transfer = f64::from(seg.rows()) * self.params.row_time();
+        SegmentPlan {
+            seek_x,
+            settle,
+            seek_y,
+            positioning: (seek_x + settle).max(seek_y),
+            transfer,
+            end_state: SledState {
+                x: x_target,
+                y: end_y,
+                vy: end_vy,
+            },
+        }
+    }
+
+    /// Computes the full service breakdown for a request starting from
+    /// `from`, returning the breakdown and the final sled state.
+    pub fn service_from(&self, from: SledState, req: &Request) -> (ServiceBreakdown, SledState) {
+        let segments = self.mapper.segments(req.lbn, req.sectors);
+        let mut b = ServiceBreakdown {
+            overhead: self.params.overhead,
+            ..ServiceBreakdown::default()
+        };
+        let mut state = from;
+        for (i, seg) in segments.iter().enumerate() {
+            let plan = self.plan_segment(state, seg);
+            if i == 0 {
+                b.seek_x = plan.seek_x;
+                b.settle = plan.settle;
+                b.seek_y = plan.seek_y;
+                b.positioning = plan.positioning;
+            } else {
+                // Intra-request track/cylinder switches are part of the
+                // transfer stream; most are pure turnarounds (§2.3).
+                b.transfer += plan.positioning;
+                b.turnaround += plan.positioning;
+                b.turnaround_count += 1;
+            }
+            b.transfer += plan.transfer;
+            state = plan.end_state;
+        }
+        (b, state)
+    }
+
+    /// Positioning time (max of X-seek+settle and Y-seek) to the first
+    /// segment of a request, without transferring — SPTF's metric.
+    pub fn positioning_only(&self, from: SledState, req: &Request) -> f64 {
+        let segments = self.mapper.segments(req.lbn, req.sectors);
+        self.plan_segment(from, &segments[0]).positioning
+    }
+}
+
+/// One segment's timing plan.
+#[derive(Debug, Clone, Copy)]
+struct SegmentPlan {
+    seek_x: f64,
+    settle: f64,
+    seek_y: f64,
+    positioning: f64,
+    transfer: f64,
+    end_state: SledState,
+}
+
+impl StorageDevice for MemsDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity_lbns(&self) -> u64 {
+        self.geom.total_sectors()
+    }
+
+    fn service(&mut self, req: &Request, _now: SimTime) -> ServiceBreakdown {
+        let (b, state) = self.service_from(self.state, req);
+        self.state = state;
+        b
+    }
+
+    fn position_time(&self, req: &Request, _now: SimTime) -> f64 {
+        self.positioning_only(self.state, req)
+    }
+
+    fn reset(&mut self) {
+        self.state = SledState::CENTERED;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_sim::IoKind;
+
+    fn device() -> MemsDevice {
+        MemsDevice::new(MemsParams::default())
+    }
+
+    fn req(lbn: u64, sectors: u32) -> Request {
+        Request::new(0, SimTime::ZERO, lbn, sectors, IoKind::Read)
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let d = device();
+        assert_eq!(d.capacity_lbns(), 2500 * 5 * 540);
+    }
+
+    #[test]
+    fn single_row_transfer_takes_one_row_time() {
+        // Table 2: an 8-sector (4 KB) aligned transfer reads in one row
+        // pass ≈ 0.13 ms.
+        let d = device();
+        let (b, _) = d.service_from(SledState::CENTERED, &req(0, 8));
+        assert!(
+            (b.transfer - 1.2857e-4).abs() < 1e-7,
+            "transfer {}",
+            b.transfer
+        );
+    }
+
+    #[test]
+    fn track_length_transfer_matches_table_2() {
+        // Table 2: 334 sectors = 17 row passes ≈ 2.19 ms of media time.
+        let d = device();
+        let (b, _) = d.service_from(SledState::CENTERED, &req(0, 334));
+        assert!(
+            (b.transfer - 17.0 * 1.2857e-4).abs() < 1e-6,
+            "334-sector transfer {}",
+            b.transfer
+        );
+        assert_eq!(b.turnaround_count, 0, "334 sectors stay within one track");
+    }
+
+    #[test]
+    fn same_cylinder_access_skips_settle() {
+        let d = device();
+        // Start exactly on cylinder 0 (x of cylinder 0), access cylinder 0.
+        let from = SledState {
+            x: d.mapper().x_of_cylinder(0),
+            y: 0.0,
+            vy: 0.0,
+        };
+        let (b, _) = d.service_from(from, &req(0, 8));
+        assert_eq!(b.settle, 0.0);
+        assert_eq!(b.seek_x, 0.0);
+    }
+
+    #[test]
+    fn cross_cylinder_access_pays_settle() {
+        let d = device();
+        let from = SledState {
+            x: d.mapper().x_of_cylinder(0),
+            y: 0.0,
+            vy: 0.0,
+        };
+        // LBN in cylinder 1250 (center).
+        let target = 1250u64 * 2700;
+        let (b, _) = d.service_from(from, &req(target, 8));
+        assert!((b.settle - d.params().settle_time()).abs() < 1e-15);
+        assert!(b.seek_x > 0.0);
+        assert!(b.positioning >= b.seek_x + b.settle - 1e-15);
+    }
+
+    #[test]
+    fn sequential_rows_stream_without_positioning() {
+        let d = device();
+        // Start exactly at the top of track 0 moving at access velocity:
+        // reading rows 0..10 forward is free, and the sled ends the pass
+        // exactly at the start of rows 10..20 still moving forward, so the
+        // sequential continuation is also free.
+        let start = SledState {
+            x: d.mapper().x_of_cylinder(0),
+            y: d.mapper().y_of_row_start(0),
+            vy: d.params().access_velocity(),
+        };
+        let (b1, s1) = d.service_from(start, &req(0, 200));
+        assert_eq!(b1.positioning, 0.0);
+        assert!(s1.vy > 0.0);
+        let (b2, _) = d.service_from(s1, &req(200, 200));
+        assert_eq!(b2.positioning, 0.0, "sequential continuation is free");
+        // From rest in the center, initial positioning is not free.
+        let (b3, _) = d.service_from(SledState::CENTERED, &req(0, 200));
+        assert!(b3.positioning > 0.0);
+    }
+
+    #[test]
+    fn track_switch_costs_one_turnaround() {
+        let d = device();
+        // 540 sectors fill track 0 exactly; the next 20 are track 1 row 0.
+        let (b, _) = d.service_from(SledState::CENTERED, &req(0, 560));
+        assert_eq!(b.turnaround_count, 1);
+        // The serpentine switch is a pure turnaround: ≈0.036–0.26 ms.
+        assert!(
+            b.turnaround > 30e-6 && b.turnaround < 300e-6,
+            "{}",
+            b.turnaround
+        );
+    }
+
+    #[test]
+    fn whole_cylinder_read_switches_tracks_four_times() {
+        let d = device();
+        let (b, _) = d.service_from(SledState::CENTERED, &req(0, 2700));
+        assert_eq!(b.turnaround_count, 4);
+        // 5 tracks × 27 rows of media time.
+        assert!((b.transfer - b.turnaround - 135.0 * 1.2857e-4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn average_random_4k_access_is_about_half_a_millisecond() {
+        // §2.1: "the average random 4 KB access time is 500 µs".
+        let mut d = device();
+        let total_sectors = d.capacity_lbns();
+        let mut sum = 0.0;
+        let n = 2000u64;
+        let mut lbn = 12345u64;
+        for i in 0..n {
+            // Cheap deterministic pseudo-random walk over the LBN space.
+            lbn = (lbn
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
+                % (total_sectors - 8);
+            let r = Request::new(i, SimTime::ZERO, lbn, 8, IoKind::Read);
+            sum += d.service(&r, SimTime::ZERO).total();
+        }
+        let avg = sum / n as f64;
+        // The paper quotes 500 µs (§2.1); our closed-form kinematics give
+        // ≈0.7 ms because the average X seek plus one settling constant is
+        // ≈0.5 ms on its own (consistent with the paper's own 0.2–0.7 ms
+        // seek range in §2.4.2). See EXPERIMENTS.md for the discussion.
+        assert!(
+            (0.4e-3..0.9e-3).contains(&avg),
+            "average random 4 KB access {avg} should be ≈0.5–0.8 ms"
+        );
+    }
+
+    #[test]
+    fn position_time_matches_service_positioning_and_does_not_mutate() {
+        let d = device();
+        let r = req(1_000_000, 8);
+        let est = d.position_time(&r, SimTime::ZERO);
+        let (b, _) = d.service_from(d.state(), &r);
+        assert!((est - b.positioning).abs() < 1e-15);
+        assert_eq!(d.state(), SledState::CENTERED);
+    }
+
+    #[test]
+    fn reset_recenters_the_sled() {
+        let mut d = device();
+        let _ = d.service(&req(2_000_000, 8), SimTime::ZERO);
+        assert_ne!(d.state(), SledState::CENTERED);
+        d.reset();
+        assert_eq!(d.state(), SledState::CENTERED);
+    }
+
+    #[test]
+    fn zero_settle_device_has_faster_positioning() {
+        let fast = MemsDevice::new(MemsParams::default().with_settle_constants(0.0));
+        let slow = MemsDevice::new(MemsParams::default().with_settle_constants(2.0));
+        let r = req(3_000_000, 8);
+        let (bf, _) = fast.service_from(SledState::CENTERED, &r);
+        let (bs, _) = slow.service_from(SledState::CENTERED, &r);
+        assert!(bf.positioning < bs.positioning);
+        assert_eq!(bf.settle, 0.0);
+    }
+
+    #[test]
+    fn service_advances_state_to_request_end() {
+        let mut d = device();
+        let r = req(0, 40); // rows 0 and 1 of cylinder 0
+        let _ = d.service(&r, SimTime::ZERO);
+        let s = d.state();
+        assert!((s.x - d.mapper().x_of_cylinder(0)).abs() < 1e-12);
+        // Ends at the boundary of row 2 (forward read) or row 0 (backward).
+        let fwd_end = d.mapper().y_of_row_end(1);
+        let bwd_end = d.mapper().y_of_row_start(0);
+        assert!(
+            (s.y - fwd_end).abs() < 1e-12 || (s.y - bwd_end).abs() < 1e-12,
+            "unexpected end y {}",
+            s.y
+        );
+        assert!((s.vy.abs() - 0.028).abs() < 1e-12);
+    }
+}

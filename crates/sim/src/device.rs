@@ -1,0 +1,192 @@
+//! The device abstraction: stateful service-time models.
+//!
+//! A [`StorageDevice`] is what DiskSim calls a device module: given its
+//! current mechanical state and a request, it returns how long the request
+//! takes, broken into the paper's components (positioning, transfer,
+//! overhead), and advances its state. Schedulers that need positioning
+//! estimates (SPTF, §4.1) use [`StorageDevice::position_time`], which must
+//! not mutate state.
+
+use crate::request::Request;
+use crate::time::SimTime;
+
+/// Per-request service-time decomposition, in seconds.
+///
+/// `positioning` is the *resolved* pre-transfer delay. For MEMS devices it
+/// is `max(seek_x + settle, seek_y)` because the X and Y seeks proceed in
+/// parallel (§2.4.1); for disks it is `seek + rotation`, which proceed in
+/// sequence. The raw components are retained for the figure harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceBreakdown {
+    /// Resolved pre-transfer positioning time.
+    pub positioning: f64,
+    /// X-dimension seek (MEMS) or arm seek (disk), excluding settle.
+    pub seek_x: f64,
+    /// Post-seek settling time.
+    pub settle: f64,
+    /// Y-dimension seek including any pre-access turnarounds (MEMS only).
+    pub seek_y: f64,
+    /// Rotational latency (disk only).
+    pub rotation: f64,
+    /// Media transfer time, including intra-request track/cylinder switches.
+    pub transfer: f64,
+    /// Portion of `transfer` spent turning the sled around (MEMS only).
+    pub turnaround: f64,
+    /// Number of turnarounds performed during the request.
+    pub turnaround_count: u32,
+    /// Fixed controller/bus overhead.
+    pub overhead: f64,
+}
+
+impl ServiceBreakdown {
+    /// Total service time in seconds.
+    pub fn total(&self) -> f64 {
+        self.positioning + self.transfer + self.overhead
+    }
+
+    /// Total service time as a [`SimTime`].
+    pub fn total_time(&self) -> SimTime {
+        SimTime::from_secs(self.total())
+    }
+
+    /// Element-wise accumulation, for averaging over a run.
+    pub fn accumulate(&mut self, other: &ServiceBreakdown) {
+        self.positioning += other.positioning;
+        self.seek_x += other.seek_x;
+        self.settle += other.settle;
+        self.seek_y += other.seek_y;
+        self.rotation += other.rotation;
+        self.transfer += other.transfer;
+        self.turnaround += other.turnaround;
+        self.turnaround_count += other.turnaround_count;
+        self.overhead += other.overhead;
+    }
+}
+
+/// Coarse power state of a device (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerState {
+    /// Servicing requests or ready to do so immediately.
+    Active,
+    /// Mechanics stopped / non-essential electronics off; fast restart.
+    Idle,
+    /// Fully powered down (disk: spindle stopped); slow restart.
+    Standby,
+}
+
+/// A stateful storage device service-time model.
+pub trait StorageDevice {
+    /// Human-readable model name, e.g. `"MEMS (default)"`.
+    fn name(&self) -> &str;
+
+    /// Number of addressable 512-byte logical blocks.
+    fn capacity_lbns(&self) -> u64;
+
+    /// Services `req` starting at `now`, advancing mechanical state, and
+    /// returns the time decomposition.
+    fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown;
+
+    /// Estimates the positioning (pre-transfer) delay `req` would incur if
+    /// started at `now`, without mutating state. This is SPTF's oracle.
+    fn position_time(&self, req: &Request, now: SimTime) -> f64;
+
+    /// Restores the device to its initial mechanical state.
+    fn reset(&mut self);
+}
+
+/// A trivially simple device with a constant service time, for tests and
+/// queueing sanity checks.
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::{ConstantDevice, IoKind, Request, SimTime, StorageDevice};
+///
+/// let mut d = ConstantDevice::new(1000, 0.002);
+/// let r = Request::new(0, SimTime::ZERO, 10, 8, IoKind::Read);
+/// assert_eq!(d.service(&r, SimTime::ZERO).total(), 0.002);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConstantDevice {
+    capacity: u64,
+    service_secs: f64,
+}
+
+impl ConstantDevice {
+    /// Creates a device with `capacity` LBNs and a fixed per-request
+    /// service time of `service_secs` seconds.
+    pub fn new(capacity: u64, service_secs: f64) -> Self {
+        ConstantDevice {
+            capacity,
+            service_secs,
+        }
+    }
+}
+
+impl StorageDevice for ConstantDevice {
+    fn name(&self) -> &str {
+        "constant"
+    }
+
+    fn capacity_lbns(&self) -> u64 {
+        self.capacity
+    }
+
+    fn service(&mut self, _req: &Request, _now: SimTime) -> ServiceBreakdown {
+        ServiceBreakdown {
+            transfer: self.service_secs,
+            ..ServiceBreakdown::default()
+        }
+    }
+
+    fn position_time(&self, _req: &Request, _now: SimTime) -> f64 {
+        0.0
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoKind;
+
+    #[test]
+    fn breakdown_total_sums_resolved_components() {
+        let b = ServiceBreakdown {
+            positioning: 0.5e-3,
+            transfer: 0.3e-3,
+            overhead: 0.1e-3,
+            ..Default::default()
+        };
+        assert!((b.total() - 0.9e-3).abs() < 1e-15);
+        assert_eq!(b.total_time(), SimTime::from_us(900.0));
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut a = ServiceBreakdown {
+            seek_x: 1.0,
+            turnaround_count: 2,
+            ..Default::default()
+        };
+        let b = ServiceBreakdown {
+            seek_x: 0.5,
+            turnaround_count: 1,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.seek_x, 1.5);
+        assert_eq!(a.turnaround_count, 3);
+    }
+
+    #[test]
+    fn constant_device_is_constant() {
+        let mut d = ConstantDevice::new(100, 1e-3);
+        let r = Request::new(0, SimTime::ZERO, 0, 1, IoKind::Read);
+        assert_eq!(d.service(&r, SimTime::ZERO).total(), 1e-3);
+        assert_eq!(d.position_time(&r, SimTime::ZERO), 0.0);
+        assert_eq!(d.capacity_lbns(), 100);
+        assert_eq!(d.name(), "constant");
+    }
+}

@@ -1,0 +1,118 @@
+//! The scheduler abstraction and a baseline FIFO implementation.
+//!
+//! The interesting schedulers (SSTF_LBN, C-LOOK, SPTF — §4) live in the
+//! `mems-os` crate; this module defines the trait the driver speaks and a
+//! first-come-first-served queue used both as the paper's FCFS baseline and
+//! for engine tests.
+
+use std::collections::VecDeque;
+
+use crate::device::StorageDevice;
+use crate::request::Request;
+use crate::time::SimTime;
+
+/// A request scheduler: holds pending requests and picks the next one to
+/// service whenever the device goes idle.
+pub trait Scheduler {
+    /// Short algorithm name, e.g. `"SPTF"`.
+    fn name(&self) -> &str;
+
+    /// Adds a request to the pending set.
+    fn enqueue(&mut self, req: Request);
+
+    /// Removes and returns the next request to service, given the device
+    /// state at `now`. Returns `None` iff no requests are pending.
+    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request>;
+
+    /// Number of pending requests.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no requests are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// First-come-first-served scheduling (the paper's FCFS reference point).
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::{ConstantDevice, FifoScheduler, IoKind, Request, Scheduler, SimTime};
+///
+/// let mut s = FifoScheduler::new();
+/// let d = ConstantDevice::new(100, 1e-3);
+/// s.enqueue(Request::new(0, SimTime::ZERO, 50, 1, IoKind::Read));
+/// s.enqueue(Request::new(1, SimTime::ZERO, 10, 1, IoKind::Read));
+/// assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 0);
+/// assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<Request>,
+}
+
+impl FifoScheduler {
+    /// Creates an empty FCFS queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.queue.push_back(req);
+    }
+
+    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Scheduler for Box<dyn Scheduler> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.as_mut().enqueue(req);
+    }
+
+    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
+        self.as_mut().pick(device, now)
+    }
+
+    fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ConstantDevice;
+    use crate::request::IoKind;
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut s = FifoScheduler::new();
+        let d = ConstantDevice::new(100, 1e-3);
+        for i in 0..10 {
+            s.enqueue(Request::new(i, SimTime::ZERO, 99 - i, 1, IoKind::Read));
+        }
+        assert_eq!(s.len(), 10);
+        for i in 0..10 {
+            assert_eq!(s.pick(&d, SimTime::ZERO).unwrap().id, i);
+        }
+        assert!(s.is_empty());
+        assert!(s.pick(&d, SimTime::ZERO).is_none());
+    }
+}

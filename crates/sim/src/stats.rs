@@ -1,0 +1,384 @@
+//! Simulation statistics.
+//!
+//! The paper evaluates scheduling policies with two metrics (§4.1): the
+//! average response time (queue + service) and the squared coefficient of
+//! variation σ²/µ² of response time, used as a starvation-resistance
+//! ("fairness") measure following [TP72, WGP94]. [`ResponseStats`] computes
+//! both, plus percentiles for the extended analyses.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by n); zero for fewer than two samples.
+    pub fn population_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divides by n−1); zero for fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// σ²/µ² — the paper's starvation-resistance metric. Zero when the
+    /// mean is zero.
+    pub fn sq_coeff_var(&self) -> f64 {
+        let mu = self.mean();
+        if mu == 0.0 {
+            0.0
+        } else {
+            self.population_variance() / (mu * mu)
+        }
+    }
+
+    /// Smallest sample; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n_total as f64;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n_total as f64;
+        self.n = n_total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Response-time statistics retaining the full sample for percentiles.
+///
+/// Values are stored in seconds (matching [`crate::SimTime::as_secs`]).
+#[derive(Debug, Clone, Default)]
+pub struct ResponseStats {
+    welford: Welford,
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl ResponseStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one response time in seconds.
+    pub fn push(&mut self, secs: f64) {
+        self.welford.push(secs);
+        self.samples.push(secs);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Mean in seconds.
+    pub fn mean(&self) -> f64 {
+        self.welford.mean()
+    }
+
+    /// Mean in milliseconds — the unit the paper's figures use.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean() * 1e3
+    }
+
+    /// Population standard deviation in seconds.
+    pub fn std_dev(&self) -> f64 {
+        self.welford.std_dev()
+    }
+
+    /// σ²/µ² starvation-resistance metric.
+    pub fn sq_coeff_var(&self) -> f64 {
+        self.welford.sq_coeff_var()
+    }
+
+    /// Largest sample in seconds.
+    pub fn max(&self) -> f64 {
+        self.welford.max()
+    }
+
+    /// Returns the `p`-quantile (0 ≤ p ≤ 1) by nearest-rank on the sorted
+    /// sample; zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("response times are not NaN"));
+            self.sorted = true;
+        }
+        let rank = ((self.samples.len() as f64 - 1.0) * p).round() as usize;
+        self.samples[rank]
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow bins,
+/// used by the fault/turnaround distribution reports.
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.push(0.5);
+/// h.push(3.7);
+/// h.push(42.0); // overflow
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(3), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Inclusive-exclusive bounds of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 10.0)
+            .collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-10);
+        assert!((w.population_variance() - var).abs() < 1e-10);
+        assert!(w.min() <= w.mean() && w.mean() <= w.max());
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 0.1).collect();
+        let mut all = Welford::new();
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.push(x);
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.population_variance() - all.population_variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sq_coeff_var_of_constant_is_zero() {
+        let mut w = Welford::new();
+        for _ in 0..10 {
+            w.push(3.0);
+        }
+        assert_eq!(w.sq_coeff_var(), 0.0);
+    }
+
+    #[test]
+    fn empty_welford_is_benign() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sq_coeff_var(), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut r = ResponseStats::new();
+        for i in 1..=100 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.percentile(0.0), 1.0);
+        assert_eq!(r.percentile(1.0), 100.0);
+        let p50 = r.percentile(0.5);
+        assert!((49.0..=51.0).contains(&p50));
+        assert!((r.mean() - 50.5).abs() < 1e-12);
+        assert!((r.mean_ms() - 50500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let mut r = ResponseStats::new();
+        assert_eq!(r.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [0.1, 0.3, 0.6, 0.9, -0.1, 1.0, 2.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_bounds(1), (0.25, 0.5));
+        assert_eq!(h.num_bins(), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload generators and trace replay for the memsstore experiments.
+//!
+//! Provides the three workloads of the paper's evaluation:
+//!
+//! * [`RandomWorkload`] — the §3 *random* workload: Poisson arrivals, 67%
+//!   reads, exponential 4 KB sizes, uniform locations;
+//! * [`generate_cello`] — a Cello-like bursty file-server trace (the
+//!   1992 HP trace is not redistributable; see the crate docs of
+//!   [`cello`] for the substitution rationale);
+//! * [`generate_tpcc`] — a TPC-C-like OLTP trace with the high
+//!   concurrency and tiny inter-LBN distances §4.3 credits for SPTF's
+//!   outsized win.
+//!
+//! Plus a plain-text trace format ([`TraceRecord`], [`parse_trace`],
+//! [`format_trace`]) and scaled replay ([`TraceWorkload`]) implementing
+//! the paper's arrival-rate scaling methodology.
+
+#![warn(missing_docs)]
+
+pub mod cello;
+pub mod random;
+pub mod record;
+pub mod streaming;
+pub mod summary;
+pub mod tpcc;
+
+pub use cello::{cello_for_capacity, generate_cello, CelloParams};
+pub use random::RandomWorkload;
+pub use record::{format_trace, parse_trace, TraceRecord, TraceWorkload};
+pub use streaming::{generate_streaming, StreamingParams};
+pub use summary::TraceSummary;
+pub use tpcc::{generate_tpcc, tpcc_for_capacity, TpccParams};

@@ -1,0 +1,216 @@
+//! Trace characterization.
+//!
+//! [`TraceSummary`] computes the aggregate properties storage papers
+//! report about their workloads — arrival rate and burstiness, size
+//! distribution, read/write mix, sequentiality, and spatial locality —
+//! so synthetic generators can be validated against published trace
+//! descriptions (that is exactly how the Cello-like and TPC-C-like
+//! generators in this crate were calibrated).
+
+use storage_sim::IoKind;
+
+use crate::record::TraceRecord;
+
+/// Aggregate characteristics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Number of requests.
+    pub requests: u64,
+    /// Trace duration (first to last arrival), seconds.
+    pub duration: f64,
+    /// Mean arrival rate, requests/second.
+    pub arrival_rate: f64,
+    /// Squared coefficient of variation of interarrival times (1 ≈
+    /// Poisson; larger = bursty).
+    pub interarrival_cv2: f64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Mean request size, sectors.
+    pub mean_sectors: f64,
+    /// Largest request, sectors.
+    pub max_sectors: u32,
+    /// Fraction of requests that start exactly where the previous one
+    /// ended (strict sequentiality).
+    pub sequential_fraction: f64,
+    /// Fraction of accessed bytes that land in the busiest 10% of the
+    /// address space (by 1%-of-capacity buckets); 0.1 = uniform.
+    pub top_decile_mass: f64,
+    /// Footprint: fraction of 1%-capacity buckets touched at all.
+    pub footprint: f64,
+}
+
+impl TraceSummary {
+    /// Computes the summary of `records` against a device of `capacity`
+    /// sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `capacity` is zero.
+    pub fn compute(records: &[TraceRecord], capacity: u64) -> Self {
+        assert!(!records.is_empty(), "empty trace");
+        assert!(capacity > 0);
+        let requests = records.len() as u64;
+        let duration = records.last().expect("non-empty").arrival - records[0].arrival;
+
+        // Interarrival statistics.
+        let gaps: Vec<f64> = records
+            .windows(2)
+            .map(|p| p[1].arrival - p[0].arrival)
+            .collect();
+        let (cv2, rate) = if gaps.is_empty() || duration <= 0.0 {
+            (0.0, 0.0)
+        } else {
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            (var / (mean * mean), (requests - 1) as f64 / duration)
+        };
+
+        let reads = records.iter().filter(|r| r.kind == IoKind::Read).count();
+        let total_sectors: u64 = records.iter().map(|r| u64::from(r.sectors)).sum();
+        let max_sectors = records.iter().map(|r| r.sectors).max().expect("non-empty");
+
+        let sequential = records
+            .windows(2)
+            .filter(|p| p[1].lbn == p[0].lbn + u64::from(p[0].sectors))
+            .count();
+
+        // Locality over 100 equal buckets.
+        let buckets = 100u64;
+        let bucket_size = capacity.div_ceil(buckets);
+        let mut mass = vec![0u64; buckets as usize];
+        for r in records {
+            let b = (r.lbn / bucket_size).min(buckets - 1) as usize;
+            mass[b] += u64::from(r.sectors);
+        }
+        let mut sorted = mass.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: u64 = sorted.iter().take(10).sum();
+        let touched = mass.iter().filter(|&&m| m > 0).count();
+
+        TraceSummary {
+            requests,
+            duration,
+            arrival_rate: rate,
+            interarrival_cv2: cv2,
+            read_fraction: reads as f64 / requests as f64,
+            mean_sectors: total_sectors as f64 / requests as f64,
+            max_sectors,
+            sequential_fraction: if records.len() > 1 {
+                sequential as f64 / (records.len() - 1) as f64
+            } else {
+                0.0
+            },
+            top_decile_mass: if total_sectors > 0 {
+                top_decile as f64 / total_sectors as f64
+            } else {
+                0.0
+            },
+            footprint: touched as f64 / buckets as f64,
+        }
+    }
+
+    /// Renders the summary as an aligned report.
+    pub fn render(&self) -> String {
+        format!(
+            "requests            {}\n\
+             duration            {:.1} s\n\
+             arrival rate        {:.1} req/s\n\
+             interarrival cv^2   {:.2}\n\
+             read fraction       {:.1}%\n\
+             mean request size   {:.1} sectors ({:.1} KB)\n\
+             max request size    {} sectors\n\
+             sequential fraction {:.1}%\n\
+             top-decile mass     {:.1}%\n\
+             footprint           {:.1}% of device",
+            self.requests,
+            self.duration,
+            self.arrival_rate,
+            self.interarrival_cv2,
+            self.read_fraction * 100.0,
+            self.mean_sectors,
+            self.mean_sectors / 2.0,
+            self.max_sectors,
+            self.sequential_fraction * 100.0,
+            self.top_decile_mass * 100.0,
+            self.footprint * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cello::{generate_cello, CelloParams};
+    use crate::tpcc::{generate_tpcc, TpccParams};
+
+    fn uniform_trace(n: u64, capacity: u64) -> Vec<TraceRecord> {
+        let mut lbn = 13u64;
+        (0..n)
+            .map(|i| {
+                lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(11)) % (capacity - 8);
+                TraceRecord {
+                    arrival: i as f64 * 0.01,
+                    lbn,
+                    sectors: 8,
+                    kind: IoKind::Read,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_trace_summary_is_uniform() {
+        let t = uniform_trace(20_000, 1_000_000);
+        let s = TraceSummary::compute(&t, 1_000_000);
+        assert_eq!(s.requests, 20_000);
+        assert!((s.arrival_rate - 100.0).abs() < 1.0);
+        assert!(s.interarrival_cv2 < 0.01, "constant arrivals");
+        assert_eq!(s.read_fraction, 1.0);
+        assert!((s.mean_sectors - 8.0).abs() < 1e-9);
+        // Uniform: busiest 10% of buckets hold ≈10-13% of mass.
+        assert!(s.top_decile_mass < 0.15, "mass {}", s.top_decile_mass);
+        assert!(s.footprint > 0.99);
+    }
+
+    #[test]
+    fn cello_like_summary_matches_published_characteristics() {
+        let p = CelloParams::default();
+        let t = generate_cello(&p, 3);
+        let s = TraceSummary::compute(&t, p.capacity);
+        assert!(
+            s.interarrival_cv2 > 2.0,
+            "bursty: cv2 {}",
+            s.interarrival_cv2
+        );
+        assert!((0.40..0.50).contains(&s.read_fraction), "write-majority");
+        assert!(s.sequential_fraction > 0.1, "sequential runs exist");
+        assert!(s.top_decile_mass > 0.4, "hot regions dominate");
+    }
+
+    #[test]
+    fn tpcc_like_summary_matches_published_characteristics() {
+        let p = TpccParams::default();
+        let t = generate_tpcc(&p, 3);
+        let s = TraceSummary::compute(&t, p.capacity);
+        assert!(
+            (15.0..17.0).contains(&s.mean_sectors),
+            "8 KB pages dominate"
+        );
+        assert!(s.top_decile_mass > 0.5, "hot tables dominate");
+        assert!(s.footprint < 0.5, "database confined to part of the device");
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let t = uniform_trace(100, 10_000);
+        let text = TraceSummary::compute(&t, 10_000).render();
+        assert!(text.contains("arrival rate"));
+        assert!(text.contains("sequential fraction"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let _ = TraceSummary::compute(&[], 100);
+    }
+}

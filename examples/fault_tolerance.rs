@@ -1,0 +1,117 @@
+//! Fault tolerance scenario (§6): surviving a device that ships broken.
+//!
+//! MEMS devices have thousands of mechanical parts, and manufacturing
+//! yields dictate operating with some broken. This example walks the
+//! paper's defense in depth:
+//!
+//! 1. stripe a sector across 64 tips with 8 ECC tips and corrupt it;
+//! 2. break random tips over the device's lifetime and watch the
+//!    unrecoverable-sector fraction with and without the ECC;
+//! 3. exercise the spare-tip trade-off: sacrifice capacity or tolerance;
+//! 4. show that spare-tip remapping keeps sequential streams intact.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use mems_device::{Mapper, MemsDevice, MemsParams};
+use mems_os::fault::{FaultState, RemapPolicy, RemappedDevice, SpareTipPolicy, StripeCodec};
+use storage_sim::rng;
+use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+
+fn main() {
+    let params = MemsParams::default();
+    let mapper = Mapper::new(&params);
+
+    // --- 1. one sector through the ECC ------------------------------------
+    println!("== striping + ECC on one 512 B sector (64 data + 8 ECC tips) ==\n");
+    let codec = StripeCodec::new(8);
+    let mut sector = [0u8; 512];
+    for (i, b) in sector.iter_mut().enumerate() {
+        *b = (i % 251) as u8;
+    }
+    let mut stripe = codec.encode(&sector);
+    println!(
+        "encoded into {} tip sectors; corrupting 6 of them...",
+        stripe.len()
+    );
+    for &tip in &[3usize, 17, 29, 41, 55, 67] {
+        stripe[tip].data = [0xff; 8];
+    }
+    println!("vertical checks flag {} erasures", codec.erasures(&stripe));
+    match codec.decode(&stripe) {
+        Some(recovered) if recovered == sector => {
+            println!("horizontal RS code: sector recovered exactly\n")
+        }
+        _ => println!("recovery FAILED (unexpected)\n"),
+    }
+
+    // --- 2. lifetime tip attrition ----------------------------------------
+    println!("== tip attrition over the device lifetime ==\n");
+    println!(
+        "{:>12}  {:>16}  {:>16}",
+        "broken tips", "no ECC (lost)", "8-tip ECC (lost)"
+    );
+    let mut faults = FaultState::new(&params);
+    let mut r = rng::seeded(0xFA117);
+    for step in [10usize, 40, 50, 100, 200] {
+        faults.inject_random_tip_failures(step, &mut r);
+        let no_ecc = faults.unrecoverable_fraction(&mapper, 0);
+        let ecc = faults.unrecoverable_fraction(&mapper, 8);
+        println!(
+            "{:>12}  {:>15.2}%  {:>15.4}%",
+            faults.failed_tip_count(),
+            no_ecc * 100.0,
+            ecc * 100.0
+        );
+    }
+    println!("\n(every broken tip costs a disk-like device data; the striped");
+    println!("device shrugs off hundreds — §6.1.1)\n");
+
+    // --- 3. the spare-tip trade-off -----------------------------------------
+    println!("== spare-tip provisioning: capacity vs tolerance ==\n");
+    let mut policy = SpareTipPolicy::new(4);
+    println!("provisioned 4 spare tips per stripe group");
+    for failure in 1..=6 {
+        if policy.absorb_failure() {
+            println!(
+                "  tip failure #{failure}: absorbed (tolerance left: {})",
+                policy.remaining_tolerance()
+            );
+        } else {
+            policy.sacrifice_capacity(2);
+            let absorbed = policy.absorb_failure();
+            println!(
+                "  tip failure #{failure}: spares exhausted -> sacrificed capacity \
+                 (now {:.1}% usable), absorbed: {absorbed}",
+                policy.capacity_fraction() * 100.0
+            );
+        }
+    }
+    println!();
+
+    // --- 4. remapping keeps streams sequential -------------------------------
+    println!("== remapping a grown defect under a sequential stream ==\n");
+    let capacity = MemsDevice::new(params.clone()).capacity_lbns();
+    for policy in [RemapPolicy::SpareTip, RemapPolicy::FarSpare] {
+        let mut dev = RemappedDevice::new(MemsDevice::new(params.clone()), policy, capacity - 2700);
+        dev.remap(1250 * 2700 + 160); // defect mid-stream
+        let mut t = SimTime::ZERO;
+        let mut total = 0.0;
+        for i in 0..40u64 {
+            let req = Request::new(i, t, 1250 * 2700 + i * 8, 8, IoKind::Read);
+            let b = dev.service(&req, t);
+            total += b.total();
+            t += SimTime::from_secs(b.total());
+        }
+        println!(
+            "  {:<22} 40-block sequential read: {:.3} ms",
+            format!("{policy:?}"),
+            total * 1e3
+        );
+    }
+    println!("\n(the spare tip reads in the same sled pass — zero penalty; the");
+    println!("far remap breaks sequentiality with an out-and-back excursion)");
+}

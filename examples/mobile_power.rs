@@ -1,0 +1,97 @@
+//! Mobile power management scenario (§7).
+//!
+//! A laptop-style workload — short bursts of I/O separated by seconds of
+//! think time — runs against a power-managed MEMS device and a mobile
+//! (Travelstar-class) disk under a range of sleep timeouts. The output is
+//! the energy/latency trade-off table an OS power manager would consult:
+//! for the disk it is a genuine bargain; for MEMS the aggressive
+//! sleep-immediately policy wins outright.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example mobile_power
+//! ```
+
+use atlas_disk::{DiskDevice, DiskEnergyModel, DiskParams};
+use mems_device::{MemsDevice, MemsEnergyModel, MemsParams};
+use mems_os::power::{PowerManagedDevice, PowerProfile};
+use storage_sim::rng;
+use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+
+/// Laptop-like burst workload: editor saves, page-ins, mail checks.
+fn workload(capacity: u64, seed: u64) -> Vec<(f64, u64, u32, IoKind)> {
+    let mut r = rng::seeded(seed);
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    for burst in 0..120 {
+        t += rng::exponential(&mut r, 3.0); // seconds of think time
+        let burst_len = 1 + rng::uniform_u64(&mut r, 12);
+        for _ in 0..burst_len {
+            t += rng::exponential(&mut r, 5e-3);
+            let write = burst % 3 == 0; // every third burst is a save
+            let sectors = if write { 16 } else { 8 };
+            let lbn = rng::uniform_u64(&mut r, capacity - 64);
+            out.push((
+                t,
+                lbn,
+                sectors,
+                if write { IoKind::Write } else { IoKind::Read },
+            ));
+        }
+    }
+    out
+}
+
+fn run<D: StorageDevice>(make: impl Fn() -> D, profile: PowerProfile, timeout: f64) -> (f64, f64) {
+    let mut dev = PowerManagedDevice::new(make(), profile, timeout);
+    let reqs = workload(dev.capacity_lbns(), 0x90B11E);
+    let mut t_busy = 0.0f64;
+    for (i, &(t, lbn, sectors, kind)) in reqs.iter().enumerate() {
+        let at = SimTime::from_secs(t.max(t_busy));
+        let b = dev.service(&Request::new(i as u64, at, lbn, sectors, kind), at);
+        t_busy = at.as_secs() + b.total();
+    }
+    dev.finish(SimTime::from_secs(t_busy));
+    (dev.energy(), dev.stats().mean_added_latency())
+}
+
+fn main() {
+    let mems_profile = PowerProfile::mems(&MemsEnergyModel::default(), 1280);
+    let disk_profile = PowerProfile::disk(&DiskEnergyModel::travelstar_class());
+
+    println!("laptop burst workload (~10 minutes simulated):\n");
+    println!(
+        "{:>22}  {:>12} {:>14}  {:>12} {:>14}",
+        "sleep timeout", "MEMS (J)", "MEMS wake lat", "disk (J)", "disk wake lat"
+    );
+    for (label, timeout) in [
+        ("immediate", 0.0),
+        ("0.5 s", 0.5),
+        ("2 s", 2.0),
+        ("10 s", 10.0),
+        ("never", f64::INFINITY),
+    ] {
+        let (me, ml) = run(
+            || MemsDevice::new(MemsParams::default()),
+            mems_profile,
+            timeout,
+        );
+        let (de, dl) = run(
+            || DiskDevice::new(DiskParams::ibm_travelstar_class()),
+            disk_profile,
+            timeout,
+        );
+        println!(
+            "{label:>22}  {me:>12.2} {:>11.2} ms  {de:>12.1} {:>11.1} ms",
+            ml * 1e3,
+            dl * 1e3
+        );
+    }
+    println!("\nreading the table:");
+    println!(" * MEMS: sleeping immediately minimizes energy at a ~0.5 ms wake");
+    println!("   cost nobody notices — no policy tuning needed (§7).");
+    println!(" * disk: short timeouts waste energy on spin-up surges AND add");
+    println!("   ~2 s stalls; long timeouts burn idle watts. The OS must");
+    println!("   predict idle periods to win at all.");
+}
