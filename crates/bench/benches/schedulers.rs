@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mems_device::{MemsDevice, MemsParams};
-use mems_os::sched::{Algorithm, ClookScheduler, SptfScheduler, SstfScheduler};
+use mems_os::sched::{Algorithm, ClookScheduler, NaiveSptfScheduler, SptfScheduler, SstfScheduler};
 use std::hint::black_box;
 use storage_sim::{IoKind, Request, Scheduler, SimTime};
 
@@ -29,6 +29,18 @@ fn bench_pick(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("SPTF", depth), &reqs, |b, reqs| {
             b.iter(|| {
                 let mut s = SptfScheduler::new();
+                for r in reqs {
+                    s.enqueue(*r);
+                }
+                while let Some(r) = s.pick(&dev, SimTime::ZERO) {
+                    black_box(r);
+                }
+            })
+        });
+        // The pre-optimization reference: full O(queue) scan per pick.
+        group.bench_with_input(BenchmarkId::new("SPTF-naive", depth), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut s = NaiveSptfScheduler::new();
                 for r in reqs {
                     s.enqueue(*r);
                 }

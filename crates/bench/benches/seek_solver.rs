@@ -71,5 +71,38 @@ fn bench_device_service(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kinematics, bench_device_service);
+fn bench_seek_table(c: &mut Criterion) {
+    // Park each device on-grid (sled exactly on a cylinder center / row
+    // boundary, the post-service steady state) so the memoized device can
+    // actually hit its table; the direct device always re-solves.
+    let park = |table: bool| {
+        let mut d = MemsDevice::new(MemsParams::default()).with_seek_table(table);
+        let r = Request::new(0, SimTime::ZERO, 1_000_000, 8, IoKind::Read);
+        let _ = d.service(&r, SimTime::ZERO);
+        d
+    };
+    let direct = park(false);
+    let memo = park(true);
+    for (name, dev) in [
+        ("position_time_direct_solve", &direct),
+        ("position_time_seek_table", &memo),
+    ] {
+        c.bench_function(name, |b| {
+            let mut x = 5u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let lbn = x % (dev.capacity_lbns() - 8);
+                let req = Request::new(0, SimTime::ZERO, lbn, 8, IoKind::Read);
+                black_box(dev.position_time(&req, SimTime::ZERO))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_kinematics,
+    bench_device_service,
+    bench_seek_table
+);
 criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Performance smoke test: before/after numbers for the positioning fast
+//! path, written to `BENCH_sched.json` so the perf trajectory is tracked
+//! in-repo from PR to PR.
+//!
+//! Three sections:
+//!
+//! 1. **seek_table** — `position_time` cost from an on-grid sled state,
+//!    direct solve vs memo table (the SPTF oracle's unit of work);
+//! 2. **sptf_pick** — draining a deep queue, naive full scan vs pruned
+//!    bucket scan (same picks, different work);
+//! 3. **fig6_sptf** — the acceptance measurement: the Fig. 6 SPTF cell at
+//!    the highest arrival rate over several seeds, naive scan + direct
+//!    solves + serial seed loop vs pruned pick + seek table + parallel
+//!    sweep. The two configurations must report identical mean response
+//!    times (the fast path is pick-equivalent); only the wall clock moves.
+//!
+//! Run from the workspace root: `cargo run --release -p mems-bench --bin
+//! perf_smoke` (pass a request count to override the default 4000).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mems_bench::replicated_point;
+use mems_device::{MemsDevice, MemsParams};
+use mems_os::sched::{Algorithm, NaiveSptfScheduler, SptfScheduler};
+use storage_sim::{Driver, IoKind, Request, Scheduler, SimTime, StorageDevice};
+use storage_trace::RandomWorkload;
+
+const CAPACITY: u64 = 6_750_000;
+/// The highest arrival rate of the Fig. 6 sweep.
+const RATE: f64 = 2500.0;
+const SEEDS: [u64; 6] = [1, 2, 3, 4, 5, 6];
+const WARMUP: u64 = 500;
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// A device parked on-grid (one request serviced), as in steady state.
+fn parked(table: bool) -> MemsDevice {
+    let mut d = MemsDevice::new(MemsParams::default()).with_seek_table(table);
+    let r = Request::new(0, SimTime::ZERO, 1_000_000, 8, IoKind::Read);
+    let _ = d.service(&r, SimTime::ZERO);
+    d
+}
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *x
+}
+
+/// ns per `position_time` query over a deterministic LBN stream.
+fn time_queries(dev: &MemsDevice, n: u64) -> f64 {
+    let mut x = 7u64;
+    let mut sink = 0.0;
+    let (_, secs) = timed(|| {
+        for _ in 0..n {
+            let lbn = lcg(&mut x) % (CAPACITY - 8);
+            let req = Request::new(0, SimTime::ZERO, lbn, 8, IoKind::Read);
+            sink += dev.position_time(&req, SimTime::ZERO);
+        }
+    });
+    assert!(sink > 0.0);
+    secs * 1e9 / n as f64
+}
+
+/// µs per pick draining a `depth`-deep queue with scheduler `make()`.
+fn time_drain<S: Scheduler>(make: impl Fn() -> S, dev: &MemsDevice, depth: usize) -> f64 {
+    let reqs: Vec<Request> = (0..depth as u64)
+        .map(|i| {
+            let lbn = (i * 2_654_435_761) % CAPACITY;
+            Request::new(i, SimTime::ZERO, lbn, 8, IoKind::Read)
+        })
+        .collect();
+    let rounds = 5;
+    let (_, secs) = timed(|| {
+        for _ in 0..rounds {
+            let mut s = make();
+            for r in &reqs {
+                s.enqueue(*r);
+            }
+            while let Some(r) = s.pick(dev, SimTime::ZERO) {
+                std::hint::black_box(r);
+            }
+        }
+    });
+    secs * 1e6 / (rounds * depth) as f64
+}
+
+fn main() {
+    let requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    // Keep some measured requests even for tiny runs, or the reported
+    // means are silently computed over zero completions.
+    let warmup = WARMUP.min(requests / 2);
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("perf_smoke: positioning fast path, before/after\n");
+
+    // 1. Seek-table micro.
+    let direct_dev = parked(false);
+    let memo_dev = parked(true);
+    let n_queries = 200_000u64;
+    let direct_ns = time_queries(&direct_dev, n_queries);
+    let memo_ns = time_queries(&memo_dev, n_queries);
+    let stats = memo_dev.seek_table_stats();
+    println!("seek_table:  direct {direct_ns:8.1} ns/query   memo {memo_ns:8.1} ns/query   ({:.1}x, hit rate {:.3})",
+        direct_ns / memo_ns, stats.hit_rate());
+
+    // 2. Pick micro.
+    let depth = 1024;
+    let naive_us = time_drain(NaiveSptfScheduler::new, &direct_dev, depth);
+    let pruned_us = time_drain(SptfScheduler::new, &memo_dev, depth);
+    println!(
+        "sptf_pick:   naive {naive_us:9.2} us/pick    pruned {pruned_us:7.2} us/pick    ({:.1}x at depth {depth})",
+        naive_us / pruned_us
+    );
+
+    // 3. Fig. 6 SPTF cell at the highest rate: serial+naive+direct vs
+    // parallel+pruned+table.
+    let (baseline_means, baseline_secs) = timed(|| {
+        SEEDS
+            .iter()
+            .map(|&seed| {
+                Driver::new(
+                    RandomWorkload::paper(CAPACITY, RATE, requests, seed),
+                    NaiveSptfScheduler::new(),
+                    MemsDevice::new(MemsParams::default()).with_seek_table(false),
+                )
+                .warmup_requests(warmup)
+                .run()
+                .response
+                .mean_ms()
+            })
+            .collect::<Vec<f64>>()
+    });
+    let baseline_mean = baseline_means.iter().sum::<f64>() / SEEDS.len() as f64;
+
+    let (fast_point, fast_secs) = timed(|| {
+        replicated_point(
+            RATE,
+            Algorithm::Sptf,
+            &SEEDS,
+            |rate, seed| RandomWorkload::paper(CAPACITY, rate, requests, seed),
+            || MemsDevice::new(MemsParams::default()),
+            warmup,
+        )
+    });
+    let speedup = baseline_secs / fast_secs;
+    let means_match = baseline_mean == fast_point.mean_ms;
+    println!(
+        "fig6_sptf:   baseline {baseline_secs:6.2} s      fast {fast_secs:6.2} s        ({speedup:.1}x, {} seeds x {requests} reqs @ {RATE} req/s, {threads} threads)",
+        SEEDS.len()
+    );
+    println!(
+        "             mean response {baseline_mean:.4} ms vs {:.4} ms  (identical: {means_match})",
+        fast_point.mean_ms
+    );
+    if !means_match {
+        eprintln!("warning: fast path changed the simulation result — pick equivalence broken");
+    }
+
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"generated_unix\": {},\n",
+            "  \"host_threads\": {},\n",
+            "  \"seek_table\": {{\n",
+            "    \"queries\": {},\n",
+            "    \"direct_ns_per_query\": {:.2},\n",
+            "    \"memo_ns_per_query\": {:.2},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"hit_rate\": {:.4}\n",
+            "  }},\n",
+            "  \"sptf_pick\": {{\n",
+            "    \"queue_depth\": {},\n",
+            "    \"naive_us_per_pick\": {:.3},\n",
+            "    \"pruned_us_per_pick\": {:.3},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"fig6_sptf\": {{\n",
+            "    \"rate_req_per_s\": {},\n",
+            "    \"requests_per_seed\": {},\n",
+            "    \"warmup\": {},\n",
+            "    \"seeds\": {},\n",
+            "    \"baseline_naive_serial_secs\": {:.3},\n",
+            "    \"fast_pruned_parallel_secs\": {:.3},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"baseline_mean_response_ms\": {:.6},\n",
+            "    \"fast_mean_response_ms\": {:.6},\n",
+            "    \"means_identical\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        unix,
+        threads,
+        n_queries,
+        direct_ns,
+        memo_ns,
+        direct_ns / memo_ns,
+        stats.hit_rate(),
+        depth,
+        naive_us,
+        pruned_us,
+        naive_us / pruned_us,
+        RATE,
+        requests,
+        warmup,
+        SEEDS.len(),
+        baseline_secs,
+        fast_secs,
+        speedup,
+        baseline_mean,
+        fast_point.mean_ms,
+        means_match,
+    );
+    match std::fs::write("BENCH_sched.json", &json) {
+        Ok(()) => println!("\n[wrote BENCH_sched.json]"),
+        Err(e) => eprintln!("warning: cannot write BENCH_sched.json: {e}"),
+    }
+}

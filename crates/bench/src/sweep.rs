@@ -1,7 +1,18 @@
 //! The scheduling-sweep runner behind Figs. 5–8.
+//!
+//! Every sweep cell (one algorithm at one arrival rate, or one seed of a
+//! replicated point) owns a fresh workload, scheduler, and device, so the
+//! cells are embarrassingly parallel: they run on `std::thread::scope`
+//! workers pulling from a shared atomic work index, and results land in
+//! per-cell slots so the output order (and hence every downstream table,
+//! CSV, and statistic) is identical to the serial runner's.
 
-use mems_os::sched::Algorithm;
-use storage_sim::{Driver, SimReport, StorageDevice, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use mems_os::sched::{Algorithm, ClookScheduler, SptfScheduler, SstfScheduler};
+use storage_sim::{Driver, FifoScheduler, Scheduler, SimReport, StorageDevice, Workload};
 
 /// One (algorithm, arrival-rate) measurement.
 #[derive(Debug, Clone)]
@@ -26,42 +37,105 @@ where
     W: Workload,
     D: StorageDevice,
 {
-    // `Driver` is generic over the scheduler type, so route through the
-    // boxed trait object the Algorithm factory returns.
-    let scheduler = algorithm.build();
-    let mut driver = Driver::new(workload, scheduler, device).warmup_requests(warmup);
-    driver.run()
+    fn go<W: Workload, S: Scheduler, D: StorageDevice>(
+        workload: W,
+        scheduler: S,
+        device: D,
+        warmup: u64,
+    ) -> SimReport {
+        Driver::new(workload, scheduler, device)
+            .warmup_requests(warmup)
+            .run()
+    }
+    // Dispatch on the concrete scheduler type here, once, so the driver's
+    // event loop runs monomorphized — no `Box<dyn Scheduler>` vtable hop
+    // on every pick of the hottest path.
+    match algorithm {
+        Algorithm::Fcfs => go(workload, FifoScheduler::new(), device, warmup),
+        Algorithm::SstfLbn => go(workload, SstfScheduler::new(), device, warmup),
+        Algorithm::Clook => go(workload, ClookScheduler::new(), device, warmup),
+        Algorithm::Sptf => go(workload, SptfScheduler::new(), device, warmup),
+    }
 }
 
-/// Sweeps every algorithm over a set of rates. `make_workload(rate)` and
-/// `make_device()` produce a fresh workload/device per run so runs are
-/// independent and deterministic.
+/// Runs `n` independent jobs on scoped worker threads (one per available
+/// core, capped by the job count) and returns their results in job order —
+/// the scheduling of workers onto jobs can never affect the output.
+fn run_cells<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    run_cells_on(threads, n, job)
+}
+
+/// [`run_cells`] with an explicit worker count (tested directly so the
+/// threaded path is covered even on single-core machines).
+fn run_cells_on<T, F>(threads: usize, n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = job(i);
+                slots.lock().expect("no poisoned cell")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("no poisoned cell")
+        .into_iter()
+        .map(|slot| slot.expect("every cell ran"))
+        .collect()
+}
+
+/// Sweeps every algorithm over a set of rates, running the cells in
+/// parallel. `make_workload(rate)` and `make_device()` produce a fresh
+/// workload/device per cell so runs are independent and deterministic;
+/// the returned points are in the serial order (algorithm-major).
 pub fn sched_sweep<W, D>(
     rates: &[f64],
     algorithms: &[Algorithm],
-    mut make_workload: impl FnMut(f64) -> W,
-    mut make_device: impl FnMut() -> D,
+    make_workload: impl Fn(f64) -> W + Sync,
+    make_device: impl Fn() -> D + Sync,
     warmup: u64,
 ) -> Vec<SweepPoint>
 where
     W: Workload,
     D: StorageDevice,
 {
-    let mut points = Vec::with_capacity(rates.len() * algorithms.len());
-    for &alg in algorithms {
-        for &rate in rates {
-            let report = run_one(make_workload(rate), alg, make_device(), warmup);
-            points.push(SweepPoint {
-                algorithm: alg.label(),
-                rate,
-                mean_response_ms: report.response.mean_ms(),
-                cv2: report.response.sq_coeff_var(),
-                mean_service_ms: report.mean_service_ms(),
-                max_queue: report.max_queue_depth,
-            });
+    let cells: Vec<(Algorithm, f64)> = algorithms
+        .iter()
+        .flat_map(|&alg| rates.iter().map(move |&rate| (alg, rate)))
+        .collect();
+    run_cells(cells.len(), |i| {
+        let (alg, rate) = cells[i];
+        let report = run_one(make_workload(rate), alg, make_device(), warmup);
+        SweepPoint {
+            algorithm: alg.label(),
+            rate,
+            mean_response_ms: report.response.mean_ms(),
+            cv2: report.response.sq_coeff_var(),
+            mean_service_ms: report.mean_service_ms(),
+            max_queue: report.max_queue_depth,
         }
-    }
-    points
+    })
 }
 
 /// A measurement replicated over several workload seeds.
@@ -86,15 +160,17 @@ impl ReplicatedPoint {
     }
 }
 
-/// Runs one (algorithm, rate) cell over several seeds and reports the
-/// mean response time with its standard error — for checking that a
-/// figure's conclusions aren't artifacts of a single workload draw.
+/// Runs one (algorithm, rate) cell over several seeds — in parallel, one
+/// replica per worker — and reports the mean response time with its
+/// standard error, for checking that a figure's conclusions aren't
+/// artifacts of a single workload draw. Per-seed means are reduced in
+/// seed order, so the result is bitwise identical to the serial runner's.
 pub fn replicated_point<W, D>(
     rate: f64,
     algorithm: Algorithm,
     seeds: &[u64],
-    mut make_workload: impl FnMut(f64, u64) -> W,
-    mut make_device: impl FnMut() -> D,
+    make_workload: impl Fn(f64, u64) -> W + Sync,
+    make_device: impl Fn() -> D + Sync,
     warmup: u64,
 ) -> ReplicatedPoint
 where
@@ -102,14 +178,16 @@ where
     D: StorageDevice,
 {
     assert!(!seeds.is_empty(), "need at least one replica");
-    let means: Vec<f64> = seeds
-        .iter()
-        .map(|&seed| {
-            run_one(make_workload(rate, seed), algorithm, make_device(), warmup)
-                .response
-                .mean_ms()
-        })
-        .collect();
+    let means: Vec<f64> = run_cells(seeds.len(), |i| {
+        run_one(
+            make_workload(rate, seeds[i]),
+            algorithm,
+            make_device(),
+            warmup,
+        )
+        .response
+        .mean_ms()
+    });
     let n = means.len() as f64;
     let mean = means.iter().sum::<f64>() / n;
     let stderr = if means.len() > 1 {
@@ -180,6 +258,64 @@ mod tests {
         );
         assert_eq!(points.len(), 8);
         assert!(points.iter().all(|p| p.mean_response_ms > 0.0));
+        // Output is algorithm-major regardless of worker scheduling.
+        let labels: Vec<&str> = points.iter().map(|p| p.algorithm).collect();
+        let expected: Vec<&str> = Algorithm::ALL
+            .iter()
+            .flat_map(|a| std::iter::repeat_n(a.label(), rates.len()))
+            .collect();
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_run_one() {
+        // The parallel runner must produce the same numbers as composing
+        // run_one cells by hand.
+        let rates = [400.0, 1200.0];
+        let points = sched_sweep(
+            &rates,
+            &[Algorithm::Sptf],
+            |rate| RandomWorkload::paper(6_750_000, rate, 400, 11),
+            || MemsDevice::new(MemsParams::default()),
+            50,
+        );
+        for (i, &rate) in rates.iter().enumerate() {
+            let report = run_one(
+                RandomWorkload::paper(6_750_000, rate, 400, 11),
+                Algorithm::Sptf,
+                MemsDevice::new(MemsParams::default()),
+                50,
+            );
+            assert_eq!(points[i].mean_response_ms, report.response.mean_ms());
+            assert_eq!(points[i].max_queue, report.max_queue_depth);
+        }
+    }
+
+    #[test]
+    fn threaded_cells_return_in_job_order() {
+        // Force the scoped-thread path regardless of host parallelism and
+        // check results land in their slots in job order.
+        let results = super::run_cells_on(4, 37, |i| i * i);
+        let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn threaded_sweep_cells_match_serial_cells() {
+        let job = |i: usize| {
+            let rate = 300.0 + 400.0 * i as f64;
+            run_one(
+                RandomWorkload::paper(6_750_000, rate, 250, 5),
+                Algorithm::Sptf,
+                MemsDevice::new(MemsParams::default()),
+                25,
+            )
+            .response
+            .mean_ms()
+        };
+        let serial = super::run_cells_on(1, 4, job);
+        let threaded = super::run_cells_on(4, 4, job);
+        assert_eq!(serial, threaded);
     }
 
     #[test]

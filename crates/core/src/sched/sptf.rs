@@ -9,17 +9,133 @@
 //! seeks down, the Y component (which it cannot see) dominates (§4.2,
 //! §4.4).
 //!
+//! # The pruned scan
+//!
+//! A full scan runs one closed-form kinematic solve per pending request
+//! per pick — O(queue²) solves per simulated second at saturation, the
+//! dominant cost of the Fig. 6 sweeps. [`SptfScheduler`] instead keeps the
+//! pending set indexed by the device's *positioning bucket* (the cylinder,
+//! for mechanical devices) and expands outward from the bucket under the
+//! head, alternating sides nearest-first. Two sound lower bounds terminate
+//! the scan early:
+//!
+//! * [`StorageDevice::min_position_time_at_bucket_distance`] — once the
+//!   floor for the next ring exceeds the best exact positioning time
+//!   found, no farther request can win and the scan stops;
+//! * [`StorageDevice::bucket_position_time_floor`] — a whole bucket is
+//!   skipped when its own floor (for MEMS, the exact X-seek + settle)
+//!   cannot beat the incumbent.
+//!
+//! Both prunes fire only on a *strict* excess, and ties between exact
+//! scores break on enqueue order, so the pruned pick is bit-identical to
+//! the naive full scan ([`NaiveSptfScheduler`], kept as the reference the
+//! equivalence tests run against). Devices that do not implement the
+//! bucket interface fall back to all-buckets-0, degrading gracefully to
+//! the exact full scan.
+//!
 //! [`AgedSptfScheduler`] is the classic aged variant \[WGP94]: each
 //! request's positioning estimate is discounted by how long it has waited,
-//! bounding starvation at a small average-case cost.
+//! bounding starvation at a small average-case cost. The same pruned scan
+//! applies with the maximum outstanding age credit
+//! (`weight × oldest wait`) folded into the bounds.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 
 use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
 
-/// Greedy shortest-positioning-time scheduler.
+/// Pending requests indexed by positioning bucket; entries carry the
+/// enqueue sequence number that breaks exact-tie scores.
+type BucketIndex = BTreeMap<u64, Vec<(u64, Request)>>;
+
+/// Expands the bucket index outward from the device's current bucket and
+/// returns the `(bucket, index-within-bucket)` of the request minimizing
+/// `score(req, position_time)`, ties broken by enqueue sequence.
 ///
-/// Each pick scans the pending set and queries
-/// [`StorageDevice::position_time`] for each candidate — the same
-/// full-knowledge oracle the paper's simulator gives its SPTF.
+/// `credit_bound` is the largest amount by which any pending request's
+/// score may undercut its positioning-time floor (0 for plain SPTF,
+/// `weight × oldest wait` for the aged variant).
+fn pruned_best<F: Fn(&Request, f64) -> f64>(
+    buckets: &BucketIndex,
+    device: &dyn StorageDevice,
+    now: SimTime,
+    score: F,
+    credit_bound: f64,
+) -> Option<(u64, usize)> {
+    let cur = device.current_bucket();
+    let mut down = buckets.range(..=cur).rev().peekable();
+    let mut up = buckets
+        .range((Bound::Excluded(cur), Bound::Unbounded))
+        .peekable();
+    // (score, seq, bucket, index) of the incumbent.
+    let mut best: Option<(f64, u64, u64, usize)> = None;
+    loop {
+        let d_down = down.peek().map(|(b, _)| cur - **b);
+        let d_up = up.peek().map(|(b, _)| **b - cur);
+        // Visit the nearer side first (lower bucket on equal distance —
+        // the choice cannot affect the result: every unpruned candidate
+        // is scored exactly and ties break on enqueue order).
+        let take_down = match (d_down, d_up) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(a), Some(b)) => a <= b,
+        };
+        let dist = if take_down {
+            d_down.unwrap()
+        } else {
+            d_up.unwrap()
+        };
+        if let Some((best_score, ..)) = best {
+            // Every unexplored bucket on either side is at least `dist`
+            // buckets away, and the floor is nondecreasing in distance.
+            if device.min_position_time_at_bucket_distance(dist) - credit_bound > best_score {
+                break;
+            }
+        }
+        let (&bucket, entries) = if take_down {
+            down.next().unwrap()
+        } else {
+            up.next().unwrap()
+        };
+        if let Some((best_score, ..)) = best {
+            if device.bucket_position_time_floor(bucket) - credit_bound > best_score {
+                continue;
+            }
+        }
+        for (idx, (seq, req)) in entries.iter().enumerate() {
+            let s = score(req, device.position_time(req, now));
+            let better = match best {
+                None => true,
+                Some((best_score, best_seq, ..)) => {
+                    s < best_score || (s == best_score && *seq < best_seq)
+                }
+            };
+            if better {
+                best = Some((s, *seq, bucket, idx));
+            }
+        }
+    }
+    best.map(|(_, _, bucket, idx)| (bucket, idx))
+}
+
+/// Removes and returns entry `idx` of `bucket`, dropping the bucket when
+/// it empties. Order within the bucket (enqueue order) is preserved.
+fn take_entry(buckets: &mut BucketIndex, bucket: u64, idx: usize) -> (u64, Request) {
+    let entries = buckets.get_mut(&bucket).expect("bucket exists");
+    let entry = entries.remove(idx);
+    if entries.is_empty() {
+        buckets.remove(&bucket);
+    }
+    entry
+}
+
+/// Greedy shortest-positioning-time scheduler with a pruned pick.
+///
+/// Each pick queries [`StorageDevice::position_time`] — the same
+/// full-knowledge oracle the paper's simulator gives its SPTF — but only
+/// for candidates the bucket bounds cannot exclude; the result is always
+/// identical to the full scan.
 ///
 /// # Examples
 ///
@@ -38,7 +154,12 @@ use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
 /// ```
 #[derive(Debug, Default)]
 pub struct SptfScheduler {
-    pending: Vec<Request>,
+    /// Arrivals not yet bucketed (bucketing needs the device, which
+    /// `enqueue` does not see).
+    inbox: Vec<(u64, Request)>,
+    buckets: BucketIndex,
+    len: usize,
+    next_seq: u64,
 }
 
 impl SptfScheduler {
@@ -46,9 +167,59 @@ impl SptfScheduler {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn index_arrivals(&mut self, device: &dyn StorageDevice) {
+        for (seq, req) in self.inbox.drain(..) {
+            // Sequence numbers grow monotonically, so appending keeps each
+            // bucket sorted by enqueue order.
+            self.buckets
+                .entry(device.position_bucket(&req))
+                .or_default()
+                .push((seq, req));
+        }
+    }
 }
 
 impl Scheduler for SptfScheduler {
+    fn name(&self) -> &str {
+        "SPTF"
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.inbox.push((self.next_seq, req));
+        self.next_seq += 1;
+        self.len += 1;
+    }
+
+    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
+        self.index_arrivals(device);
+        let (bucket, idx) = pruned_best(&self.buckets, device, now, |_, t| t, 0.0)?;
+        self.len -= 1;
+        Some(take_entry(&mut self.buckets, bucket, idx).1)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The exact O(n)-scan SPTF the pruned implementation must match pick for
+/// pick: scan every pending request in enqueue order, keep the strict
+/// minimum. Retained as the equivalence-test reference and the
+/// `perf_smoke` baseline.
+#[derive(Debug, Default)]
+pub struct NaiveSptfScheduler {
+    pending: Vec<Request>,
+}
+
+impl NaiveSptfScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for NaiveSptfScheduler {
     fn name(&self) -> &str {
         "SPTF"
     }
@@ -70,7 +241,9 @@ impl Scheduler for SptfScheduler {
                 best = i;
             }
         }
-        Some(self.pending.swap_remove(best))
+        // Order-preserving removal keeps the scan's tie-break (earliest
+        // enqueue wins) stable across picks.
+        Some(self.pending.remove(best))
     }
 
     fn len(&self) -> usize {
@@ -78,14 +251,24 @@ impl Scheduler for SptfScheduler {
     }
 }
 
-/// Aged SPTF: positioning time minus `weight × wait time` \[WGP94].
+/// Aged SPTF: positioning time minus `weight × wait time` \[WGP94],
+/// served by the same pruned scan as [`SptfScheduler`].
 ///
 /// With `weight = 0` this is plain SPTF; larger weights approach FCFS.
 /// A weight in the low single digits (seconds of positioning credit per
 /// second of waiting, i.e. dimensionless) bounds starvation effectively.
+/// The prune stays sound under aging: the bounds are discounted by the
+/// *maximum* credit any pending request has earned (`weight × oldest
+/// wait`), tracked via the arrival set.
 #[derive(Debug)]
 pub struct AgedSptfScheduler {
-    pending: Vec<Request>,
+    inbox: Vec<(u64, Request)>,
+    buckets: BucketIndex,
+    /// `(arrival, seq)` of every pending request; the first entry gives
+    /// the oldest wait, hence the largest possible age credit.
+    arrivals: BTreeSet<(SimTime, u64)>,
+    len: usize,
+    next_seq: u64,
     weight: f64,
     name: String,
 }
@@ -99,6 +282,79 @@ impl AgedSptfScheduler {
     pub fn new(weight: f64) -> Self {
         assert!(weight.is_finite() && weight >= 0.0, "weight must be >= 0");
         AgedSptfScheduler {
+            inbox: Vec::new(),
+            buckets: BTreeMap::new(),
+            arrivals: BTreeSet::new(),
+            len: 0,
+            next_seq: 0,
+            weight,
+            name: format!("SPTF-aged({weight})"),
+        }
+    }
+
+    fn index_arrivals(&mut self, device: &dyn StorageDevice) {
+        for (seq, req) in self.inbox.drain(..) {
+            self.buckets
+                .entry(device.position_bucket(&req))
+                .or_default()
+                .push((seq, req));
+        }
+    }
+}
+
+impl Scheduler for AgedSptfScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.arrivals.insert((req.arrival, self.next_seq));
+        self.inbox.push((self.next_seq, req));
+        self.next_seq += 1;
+        self.len += 1;
+    }
+
+    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
+        self.index_arrivals(device);
+        let credit_bound = match self.arrivals.first() {
+            Some(&(oldest, _)) => self.weight * (now - oldest).as_secs().max(0.0),
+            None => return None,
+        };
+        let weight = self.weight;
+        let score = |req: &Request, t: f64| {
+            let wait = (now - req.arrival).as_secs().max(0.0);
+            t - weight * wait
+        };
+        let (bucket, idx) = pruned_best(&self.buckets, device, now, score, credit_bound)?;
+        let (seq, req) = take_entry(&mut self.buckets, bucket, idx);
+        self.arrivals.remove(&(req.arrival, seq));
+        self.len -= 1;
+        Some(req)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The exact O(n)-scan aged SPTF, the reference for
+/// [`AgedSptfScheduler`]'s pruned pick.
+#[derive(Debug)]
+pub struct NaiveAgedSptfScheduler {
+    pending: Vec<Request>,
+    weight: f64,
+    name: String,
+}
+
+impl NaiveAgedSptfScheduler {
+    /// Creates a naive aged SPTF scheduler with the given aging weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn new(weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be >= 0");
+        NaiveAgedSptfScheduler {
             pending: Vec::new(),
             weight,
             name: format!("SPTF-aged({weight})"),
@@ -106,7 +362,7 @@ impl AgedSptfScheduler {
     }
 }
 
-impl Scheduler for AgedSptfScheduler {
+impl Scheduler for NaiveAgedSptfScheduler {
     fn name(&self) -> &str {
         &self.name
     }
@@ -129,7 +385,7 @@ impl Scheduler for AgedSptfScheduler {
                 best = i;
             }
         }
-        Some(self.pending.swap_remove(best))
+        Some(self.pending.remove(best))
     }
 
     fn len(&self) -> usize {
@@ -141,7 +397,7 @@ impl Scheduler for AgedSptfScheduler {
 mod tests {
     use super::*;
     use mems_device::{MemsDevice, MemsParams};
-    use storage_sim::IoKind;
+    use storage_sim::{ConstantDevice, IoKind};
 
     fn req(id: u64, lbn: u64) -> Request {
         Request::new(id, SimTime::ZERO, lbn, 8, IoKind::Read)
@@ -222,5 +478,96 @@ mod tests {
         let mut s = SptfScheduler::new();
         let dev = MemsDevice::new(MemsParams::default());
         assert!(s.pick(&dev, SimTime::ZERO).is_none());
+    }
+
+    /// Deterministic LCG stream of in-range LBNs.
+    fn lbn_stream(seed: u64, capacity: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state % (capacity - 8)
+        }
+    }
+
+    /// Drains pruned and naive schedulers against twin devices (service
+    /// is applied to both so their mechanical states track), asserting
+    /// identical pick sequences. Interleaves batches of arrivals with
+    /// picks so the scan runs from many different sled states.
+    fn assert_pick_equivalence<P: Scheduler, N: Scheduler>(
+        mut pruned: P,
+        mut naive: N,
+        seed: u64,
+        use_table: bool,
+    ) {
+        use storage_sim::StorageDevice as _;
+        let mut dev_p = MemsDevice::new(MemsParams::default()).with_seek_table(use_table);
+        let mut dev_n = MemsDevice::new(MemsParams::default()).with_seek_table(use_table);
+        let mut next_lbn = lbn_stream(seed, dev_p.capacity_lbns());
+        let mut id = 0u64;
+        let mut now = SimTime::ZERO;
+        for batch in 0..40 {
+            for _ in 0..16 {
+                let r = Request::new(id, now, next_lbn(), 8, IoKind::Read);
+                pruned.enqueue(r);
+                naive.enqueue(r);
+                id += 1;
+            }
+            // Drain half the queue (all of it on the last batch).
+            let drain = if batch == 39 { usize::MAX } else { 8 };
+            for _ in 0..drain {
+                let (a, b) = (pruned.pick(&dev_p, now), naive.pick(&dev_n, now));
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.id, b.id, "pick diverged at t={now:?} (seed {seed})");
+                        let done_p = now + dev_p.service(&a, now).total_time();
+                        let done_n = now + dev_n.service(&b, now).total_time();
+                        assert_eq!(done_p, done_n);
+                        now = done_p;
+                    }
+                    (None, None) => break,
+                    (a, b) => panic!("queue length diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        assert!(pruned.is_empty() && naive.is_empty());
+    }
+
+    #[test]
+    fn pruned_sptf_matches_naive_scan_across_seeds() {
+        for seed in [1u64, 0xDEAD_BEEF, 0x5EED_0006] {
+            assert_pick_equivalence(SptfScheduler::new(), NaiveSptfScheduler::new(), seed, true);
+            assert_pick_equivalence(SptfScheduler::new(), NaiveSptfScheduler::new(), seed, false);
+        }
+    }
+
+    #[test]
+    fn pruned_aged_sptf_matches_naive_scan_across_seeds() {
+        for seed in [2u64, 42, 0x5EED_0006] {
+            for weight in [0.5, 3.0] {
+                assert_pick_equivalence(
+                    AgedSptfScheduler::new(weight),
+                    NaiveAgedSptfScheduler::new(weight),
+                    seed,
+                    true,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_bucket_device_degrades_to_full_scan() {
+        // ConstantDevice keeps every request in bucket 0 with zero floors;
+        // the pruned scan must still pick the earliest-enqueued minimum
+        // (everything ties at position time 0).
+        let dev = ConstantDevice::new(1000, 1e-3);
+        let mut s = SptfScheduler::new();
+        for i in 0..10 {
+            s.enqueue(req(i, 990 - i * 7));
+        }
+        for expect in 0..10 {
+            assert_eq!(s.pick(&dev, SimTime::ZERO).unwrap().id, expect);
+        }
     }
 }

@@ -169,6 +169,29 @@ impl StorageDevice for DiskDevice {
         arm + latency
     }
 
+    fn position_bucket(&self, req: &Request) -> u64 {
+        u64::from(self.mapper.decompose(req.lbn).cylinder)
+    }
+
+    fn current_bucket(&self) -> u64 {
+        u64::from(self.cylinder)
+    }
+
+    fn min_position_time_at_bucket_distance(&self, distance: u64) -> f64 {
+        // Positioning is seek + non-negative extras (rotational latency,
+        // write settle, head switch), and the calibrated curve is
+        // monotone in distance, so the bare seek time is a sound floor.
+        let d = u32::try_from(distance).unwrap_or(u32::MAX);
+        self.curve.time(d)
+    }
+
+    fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
+        let d = self
+            .cylinder
+            .abs_diff(u32::try_from(bucket).unwrap_or(u32::MAX));
+        self.curve.time(d)
+    }
+
     fn reset(&mut self) {
         self.cylinder = 0;
         self.head = 0;
@@ -291,6 +314,47 @@ mod tests {
         let t2 = d.position_time(&r, SimTime::ZERO);
         assert_eq!(t1, t2);
         assert_eq!(d.arm_cylinder(), 0);
+    }
+
+    #[test]
+    fn bucket_floors_are_sound_and_monotone() {
+        // The scheduler prune contract: the distance floor never exceeds
+        // the true positioning time of any request in a bucket at that
+        // distance, and it never decreases with distance.
+        let mut d = disk();
+        let mut x = 9u64;
+        let mut lcg = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        };
+        for i in 0..400 {
+            let lbn = lcg() % (d.capacity_lbns() - 8);
+            let kind = if i % 3 == 0 {
+                IoKind::Write
+            } else {
+                IoKind::Read
+            };
+            let r = req(lbn, 8, kind);
+            let now = SimTime::from_secs(i as f64 * 3.3e-3);
+            let true_time = d.position_time(&r, now);
+            let bucket = d.position_bucket(&r);
+            let dist = d.current_bucket().abs_diff(bucket);
+            assert!(
+                d.min_position_time_at_bucket_distance(dist) <= true_time + 1e-12,
+                "distance floor exceeds true positioning time at distance {dist}"
+            );
+            assert!(
+                d.bucket_position_time_floor(bucket) <= true_time + 1e-12,
+                "bucket floor exceeds true positioning time for bucket {bucket}"
+            );
+            let _ = d.service(&r, now);
+        }
+        let mut prev = 0.0;
+        for dist in 0..u64::from(d.params().cylinders) {
+            let floor = d.min_position_time_at_bucket_distance(dist);
+            assert!(floor >= prev, "floor not monotone at distance {dist}");
+            prev = floor;
+        }
     }
 
     #[test]

@@ -12,6 +12,11 @@ use storage_sim::{Request, ServiceBreakdown, SimTime, StorageDevice};
 use crate::geometry::{Mapper, Segment};
 use crate::kinematics::SpringSled;
 use crate::params::{MemsGeometry, MemsParams};
+use crate::seek_table::{SeekTable, SeekTableStats, YKey};
+
+/// Tolerance for deciding a continuous coordinate sits exactly on the
+/// discrete media grid (cylinder center / row boundary / ±access velocity).
+const GRID_EPS: f64 = 1e-12;
 
 /// Mechanical state of the media sled between requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +62,8 @@ pub struct MemsDevice {
     sled_y: SpringSled,
     state: SledState,
     name: String,
+    seek_table: SeekTable,
+    use_seek_table: bool,
 }
 
 impl MemsDevice {
@@ -86,7 +93,26 @@ impl MemsDevice {
             sled_y: sled,
             state: SledState::CENTERED,
             name,
+            seek_table: SeekTable::new(),
+            use_seek_table: true,
         }
+    }
+
+    /// Enables or disables the seek-time memo table (on by default). The
+    /// disabled device runs every positioning query through the closed-form
+    /// solver — the reference the equivalence tests and the `perf_smoke`
+    /// baseline compare against.
+    pub fn with_seek_table(mut self, enabled: bool) -> Self {
+        self.use_seek_table = enabled;
+        if !enabled {
+            self.seek_table.clear();
+        }
+        self
+    }
+
+    /// Hit/miss counters of the seek-time memo table.
+    pub fn seek_table_stats(&self) -> SeekTableStats {
+        self.seek_table.stats()
     }
 
     /// The device parameters.
@@ -120,13 +146,123 @@ impl MemsDevice {
         self.state = state;
     }
 
+    /// X rest-seek time from `from_x` to the center of `to_cyl`, served
+    /// from the memo table when the start lies exactly on a cylinder
+    /// center (always true after the first completed request).
+    fn x_seek_time(&self, from_x: f64, to_cyl: u32, x_target: f64) -> f64 {
+        let solve = || self.sled_x.rest_seek_time(from_x, x_target);
+        if !self.use_seek_table {
+            return solve();
+        }
+        match self.quantize_cylinder(from_x) {
+            Some(from_cyl) => {
+                self.seek_table
+                    .x_seek(from_cyl, to_cyl, self.geom.cylinders as usize, solve)
+            }
+            None => solve(),
+        }
+    }
+
+    /// Y seek time from `from` to the boundary `to_boundary` (whose
+    /// coordinate is `y_target`) at velocity `v_target`, memoized when the
+    /// start is exactly on a row boundary at a grid velocity.
+    fn y_seek_time(&self, from: SledState, to_boundary: u32, y_target: f64, v_target: f64) -> f64 {
+        let solve = || self.sled_y.seek_time(from.y, from.vy, y_target, v_target);
+        if !self.use_seek_table {
+            return solve();
+        }
+        match self.quantize_y(from.y, from.vy) {
+            Some((from_boundary, from_dir)) => {
+                let key = YKey {
+                    from_boundary,
+                    from_dir,
+                    to_boundary: to_boundary as u16,
+                    to_dir: if v_target >= 0.0 { 1 } else { -1 },
+                };
+                self.seek_table.y_seek(key, solve)
+            }
+            None => solve(),
+        }
+    }
+
+    /// The cylinder whose center `x` sits on exactly, if any.
+    fn quantize_cylinder(&self, x: f64) -> Option<u32> {
+        let c = self.mapper.cylinder_of_x(x);
+        ((self.mapper.x_of_cylinder(c) - x).abs() <= GRID_EPS).then_some(c)
+    }
+
+    /// The row-boundary index and velocity direction `(y, vy)` sits on
+    /// exactly, if any. Boundaries run `0..=rows_per_track`; direction is
+    /// 0 at rest, ±1 at ±the access velocity.
+    fn quantize_y(&self, y: f64, vy: f64) -> Option<(u16, i8)> {
+        let v = self.params.access_velocity();
+        let dir = if vy == 0.0 {
+            0
+        } else if (vy - v).abs() <= GRID_EPS {
+            1
+        } else if (vy + v).abs() <= GRID_EPS {
+            -1
+        } else {
+            return None;
+        };
+        let y0 = self.mapper.y_of_row_start(0);
+        let pitch = self.mapper.y_of_row_start(1) - y0;
+        let b = ((y - y0) / pitch).round();
+        if !(0.0..=f64::from(self.geom.rows_per_track)).contains(&b) {
+            return None;
+        }
+        let b = b as u32;
+        ((self.mapper.y_of_row_start(b) - y).abs() <= GRID_EPS).then_some((b as u16, dir))
+    }
+
+    /// Cylinder holding the first segment of `lbn` — the SPTF bucketing
+    /// key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbn` is beyond the device capacity.
+    pub fn cylinder_of_lbn(&self, lbn: u64) -> u32 {
+        self.mapper.decompose(lbn).cylinder
+    }
+
+    /// Cylinder nearest the tips in the current mechanical state.
+    pub fn current_cylinder(&self) -> u32 {
+        self.mapper.cylinder_of_x(self.state.x)
+    }
+
+    /// Lower bound on the positioning time of **any** request whose first
+    /// segment lies at least `distance` cylinders from the current
+    /// cylinder; nondecreasing in `distance` (the pruned-SPTF invariant).
+    ///
+    /// The current X offset may sit up to half a cylinder pitch from its
+    /// nearest cylinder center, so the guaranteed travel is
+    /// `(distance − ½)·bit_width`; any such seek also pays the settle.
+    pub fn positioning_floor_at_distance(&self, distance: u64) -> f64 {
+        if distance == 0 {
+            return 0.0;
+        }
+        let meters = (distance as f64 - 0.5) * self.params.bit_width;
+        self.sled_x.min_rest_seek_time(meters) + self.params.settle_time()
+    }
+
+    /// Lower bound on the positioning time of any request whose first
+    /// segment is in cylinder `cyl`, computed through the same (memoized)
+    /// X path `plan_segment` uses so the bound is exact for that term.
+    pub fn cylinder_positioning_floor(&self, cyl: u32) -> f64 {
+        let x_target = self.mapper.x_of_cylinder(cyl);
+        if (x_target - self.state.x).abs() <= GRID_EPS {
+            return 0.0;
+        }
+        self.x_seek_time(self.state.x, cyl, x_target) + self.params.settle_time()
+    }
+
     /// Positioning plan for one segment from a given state: X seek time,
     /// settle, Y seek time, and the post-transfer state.
     fn plan_segment(&self, from: SledState, seg: &Segment) -> SegmentPlan {
         let x_target = self.mapper.x_of_cylinder(seg.cylinder);
-        let moved_x = (x_target - from.x).abs() > 1e-12;
+        let moved_x = (x_target - from.x).abs() > GRID_EPS;
         let seek_x = if moved_x {
-            self.sled_x.rest_seek_time(from.x, x_target)
+            self.x_seek_time(from.x, seg.cylinder, x_target)
         } else {
             0.0
         };
@@ -142,8 +278,8 @@ impl MemsDevice {
         // The media can be accessed in either Y direction (§2.2); choose
         // the cheaper approach: read rows forward (enter at the top moving
         // +v) or backward (enter at the bottom moving −v).
-        let t_fwd = self.sled_y.seek_time(from.y, from.vy, y_top, v);
-        let t_bwd = self.sled_y.seek_time(from.y, from.vy, y_bot, -v);
+        let t_fwd = self.y_seek_time(from, seg.row_start, y_top, v);
+        let t_bwd = self.y_seek_time(from, seg.row_end + 1, y_bot, -v);
         let (seek_y, end_y, end_vy) = if t_fwd <= t_bwd {
             (t_fwd, y_bot, v)
         } else {
@@ -234,6 +370,22 @@ impl StorageDevice for MemsDevice {
 
     fn reset(&mut self) {
         self.state = SledState::CENTERED;
+    }
+
+    fn position_bucket(&self, req: &Request) -> u64 {
+        u64::from(self.cylinder_of_lbn(req.lbn))
+    }
+
+    fn current_bucket(&self) -> u64 {
+        u64::from(self.current_cylinder())
+    }
+
+    fn min_position_time_at_bucket_distance(&self, distance: u64) -> f64 {
+        self.positioning_floor_at_distance(distance)
+    }
+
+    fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
+        self.cylinder_positioning_floor(bucket as u32)
     }
 }
 
@@ -413,6 +565,77 @@ mod tests {
         let (bs, _) = slow.service_from(SledState::CENTERED, &r);
         assert!(bf.positioning < bs.positioning);
         assert_eq!(bf.settle, 0.0);
+    }
+
+    /// Cheap deterministic LCG walk over the LBN space.
+    fn lbn_walk(lbn: &mut u64, total: u64) -> u64 {
+        *lbn = (lbn
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
+            % (total - 8);
+        *lbn
+    }
+
+    #[test]
+    fn seek_table_matches_direct_solves() {
+        // Walk the same deterministic request stream on a memoized device
+        // and a direct-solve device; estimates, service breakdowns, and
+        // mechanical states must agree to ≤1e-9 s at every step.
+        let mut fast = device();
+        let mut slow = device().with_seek_table(false);
+        let total = fast.capacity_lbns();
+        let mut lbn = 98_765u64;
+        for i in 0..3000 {
+            let r = req(lbn_walk(&mut lbn, total), 8);
+            let _ = i;
+            let est_fast = fast.position_time(&r, SimTime::ZERO);
+            let est_slow = slow.position_time(&r, SimTime::ZERO);
+            assert!(
+                (est_fast - est_slow).abs() <= 1e-9,
+                "estimate diverged: {est_fast} vs {est_slow}"
+            );
+            let b_fast = fast.service(&r, SimTime::ZERO);
+            let b_slow = slow.service(&r, SimTime::ZERO);
+            assert!(
+                (b_fast.total() - b_slow.total()).abs() <= 1e-9,
+                "service diverged: {} vs {}",
+                b_fast.total(),
+                b_slow.total()
+            );
+            assert_eq!(fast.state(), slow.state(), "mechanical state diverged");
+        }
+        let stats = fast.seek_table_stats();
+        assert!(stats.hits > 0, "table never hit: {stats:?}");
+        assert_eq!(slow.seek_table_stats(), Default::default());
+    }
+
+    #[test]
+    fn positioning_floors_are_sound_and_monotone() {
+        let mut d = device();
+        let total = d.capacity_lbns();
+        let mut lbn = 424_242u64;
+        for i in 0..500 {
+            let r = req(lbn_walk(&mut lbn, total), 8);
+            let t = d.position_time(&r, SimTime::ZERO);
+            let bucket = d.position_bucket(&r);
+            let dist = d.current_bucket().abs_diff(bucket);
+            assert!(
+                d.min_position_time_at_bucket_distance(dist) <= t + 1e-15,
+                "distance floor exceeds true positioning at step {i}"
+            );
+            assert!(
+                d.bucket_position_time_floor(bucket) <= t + 1e-15,
+                "bucket floor exceeds true positioning at step {i}"
+            );
+            let _ = d.service(&r, SimTime::ZERO);
+        }
+        // Nondecreasing in distance — the prune's termination invariant.
+        let mut prev = 0.0;
+        for dist in 0..2500 {
+            let f = d.min_position_time_at_bucket_distance(dist);
+            assert!(f >= prev, "floor decreased at distance {dist}");
+            prev = f;
+        }
     }
 
     #[test]

@@ -236,6 +236,27 @@ impl SpringSled {
         self.seek_time(p0, 0.0, p1, 0.0)
     }
 
+    /// Largest acceleration magnitude any trajectory can experience:
+    /// actuator force plus the spring pushing from the overtravel limit,
+    /// `a + ω²·p_max·(1 + slack)`.
+    pub fn max_acceleration(&self) -> f64 {
+        self.accel + self.omega * self.omega * self.p_max * (1.0 + OVERTRAVEL_SLACK)
+    }
+
+    /// Lower bound on the time of **any** rest-to-rest seek covering at
+    /// least `distance` meters.
+    ///
+    /// With `|p̈| ≤ a_max` (see [`SpringSled::max_acceleration`]), the
+    /// spring-free double-integrator optimum `2·√(d/a_max)` bounds every
+    /// feasible trajectory from below, and the bound is nondecreasing in
+    /// `distance` — the invariant the pruned SPTF scan relies on.
+    pub fn min_rest_seek_time(&self, distance: f64) -> f64 {
+        if distance <= 0.0 {
+            return 0.0;
+        }
+        2.0 * (distance / self.max_acceleration()).sqrt()
+    }
+
     /// Rest-to-rest seek time by direct numerical integration, the
     /// independent reference the closed forms are validated against
     /// (see the `validate_kinematics` harness in `mems-bench`).

@@ -40,9 +40,11 @@ pub mod geometry;
 pub mod kinematics;
 pub mod params;
 pub mod power;
+pub mod seek_table;
 
 pub use device::{MemsDevice, SledState};
 pub use geometry::{Mapper, PhysAddr, Segment};
 pub use kinematics::SpringSled;
 pub use params::{MemsGeometry, MemsParams};
 pub use power::MemsEnergyModel;
+pub use seek_table::{SeekTable, SeekTableStats};

@@ -1,0 +1,263 @@
+//! Memoized seek times for the discrete media grid.
+//!
+//! The SPTF oracle asks the same positioning questions over and over: after
+//! every completed request the sled rests exactly on a cylinder center with
+//! its Y coordinate on a tip-sector-row boundary and its Y velocity at
+//! ±the access velocity, so the `(from, to)` pairs that reach the
+//! closed-form arc solver are drawn from a small discrete set. [`SeekTable`]
+//! caches those solves — a cylinder-pair table for the rest-to-rest X seeks
+//! and a bounded map for the velocity-dependent Y cases — and falls back to
+//! the direct solver whenever a coordinate is off-grid (e.g. the centered
+//! initial state, or arbitrary states injected via `set_state`).
+//!
+//! Cached values are bit-identical to direct solves: a cache key only
+//! matches when the continuous inputs match to within 1e-12 m, and on-grid
+//! coordinates are always produced by the same mapper formulas, so the
+//! memoized entry was computed from the very same floats.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Number of from-cylinder rows kept resident in the X cache. Each row is a
+/// dense `cylinders`-wide lane of times (20 KB for the paper device), so 64
+/// rows cost ~1.3 MB and cover the sled's recent-position locality that
+/// SPTF exhibits at steady state.
+const X_ROW_CAP: usize = 64;
+
+/// Upper bound on resident Y entries. The on-grid key space is
+/// `(rows+1)·3·(rows+1)·2` ≈ 4.7k for the paper device, so this cap is a
+/// safety valve for exotic geometries rather than a working-set limit.
+const Y_CAP: usize = 16_384;
+
+/// Quantized Y seek endpoints: row-boundary indices (`0..=rows_per_track`)
+/// plus velocity direction (−1, 0, +1 in units of the access velocity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct YKey {
+    /// Boundary index the sled starts from.
+    pub from_boundary: u16,
+    /// Sign of the starting Y velocity (0 = at rest).
+    pub from_dir: i8,
+    /// Boundary index the seek targets.
+    pub to_boundary: u16,
+    /// Sign of the target Y velocity.
+    pub to_dir: i8,
+}
+
+/// One resident from-cylinder lane of the X cache.
+#[derive(Clone)]
+struct XRow {
+    last_use: u64,
+    /// Seek time to each target cylinder; NaN = not yet solved.
+    times: Box<[f64]>,
+}
+
+#[derive(Clone, Default)]
+struct Caches {
+    x_rows: HashMap<u32, XRow>,
+    y: HashMap<YKey, (u64, f64)>,
+    clock: u64,
+}
+
+/// Cache of closed-form seek solves keyed by quantized media coordinates.
+///
+/// Interior-mutable so it can serve the read-only `position_time` path;
+/// the device model is single-threaded per instance (each simulation cell
+/// owns its own device), so a `RefCell` suffices.
+#[derive(Clone, Default)]
+pub struct SeekTable {
+    caches: RefCell<Caches>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+/// Hit/miss counters for a [`SeekTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeekTableStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran the closed-form solver (and populated the cache).
+    pub misses: u64,
+}
+
+impl SeekTableStats {
+    /// Fraction of queries answered from the cache, 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl SeekTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// X rest-seek time from cylinder `from` to cylinder `to`, solving via
+    /// `solve` on a miss. `cylinders` sizes the dense per-row lane.
+    ///
+    /// `solve` must not touch this table (it runs under the cache borrow).
+    pub fn x_seek(&self, from: u32, to: u32, cylinders: usize, solve: impl FnOnce() -> f64) -> f64 {
+        let mut c = self.caches.borrow_mut();
+        c.clock += 1;
+        let clock = c.clock;
+        if c.x_rows.len() >= X_ROW_CAP && !c.x_rows.contains_key(&from) {
+            // Evict the least-recently-used lane; O(cap) but rare.
+            if let Some(&lru) = c
+                .x_rows
+                .iter()
+                .min_by_key(|(_, row)| row.last_use)
+                .map(|(cyl, _)| cyl)
+            {
+                c.x_rows.remove(&lru);
+            }
+        }
+        let row = c.x_rows.entry(from).or_insert_with(|| XRow {
+            last_use: clock,
+            times: vec![f64::NAN; cylinders].into_boxed_slice(),
+        });
+        row.last_use = clock;
+        let cached = row.times[to as usize];
+        if cached.is_nan() {
+            let t = solve();
+            row.times[to as usize] = t;
+            self.misses.set(self.misses.get() + 1);
+            t
+        } else {
+            self.hits.set(self.hits.get() + 1);
+            cached
+        }
+    }
+
+    /// Y seek time for the quantized endpoints `key`, solving on a miss.
+    pub fn y_seek(&self, key: YKey, solve: impl FnOnce() -> f64) -> f64 {
+        let mut c = self.caches.borrow_mut();
+        c.clock += 1;
+        let clock = c.clock;
+        if let Some(entry) = c.y.get_mut(&key) {
+            entry.0 = clock;
+            self.hits.set(self.hits.get() + 1);
+            return entry.1;
+        }
+        if c.y.len() >= Y_CAP {
+            if let Some(&lru) = c.y.iter().min_by_key(|(_, (at, _))| *at).map(|(k, _)| k) {
+                c.y.remove(&lru);
+            }
+        }
+        let t = solve();
+        c.y.insert(key, (clock, t));
+        self.misses.set(self.misses.get() + 1);
+        t
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> SeekTableStats {
+        SeekTableStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+        }
+    }
+
+    /// Drops all cached entries (counters are kept).
+    pub fn clear(&self) {
+        *self.caches.borrow_mut() = Caches::default();
+    }
+}
+
+impl fmt::Debug for SeekTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.caches.borrow();
+        f.debug_struct("SeekTable")
+            .field("x_rows", &c.x_rows.len())
+            .field("y_entries", &c.y.len())
+            .field("hits", &self.hits.get())
+            .field("misses", &self.misses.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_seek_solves_once_per_pair() {
+        let t = SeekTable::new();
+        let mut solves = 0;
+        for _ in 0..5 {
+            let v = t.x_seek(3, 7, 10, || {
+                solves += 1;
+                1.25
+            });
+            assert_eq!(v, 1.25);
+        }
+        assert_eq!(solves, 1);
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses), (4, 1));
+    }
+
+    #[test]
+    fn x_rows_evict_least_recently_used() {
+        let t = SeekTable::new();
+        // Fill beyond capacity; every row distinct.
+        for from in 0..(X_ROW_CAP as u32 + 8) {
+            let _ = t.x_seek(from, 0, 4, || f64::from(from));
+        }
+        // The most recent rows are still cached (no new solve)...
+        let mut solves = 0;
+        let _ = t.x_seek(X_ROW_CAP as u32 + 7, 0, 4, || {
+            solves += 1;
+            0.0
+        });
+        assert_eq!(solves, 0);
+        // ...while row 0 was evicted and must re-solve.
+        let _ = t.x_seek(0, 0, 4, || {
+            solves += 1;
+            0.0
+        });
+        assert_eq!(solves, 1);
+    }
+
+    #[test]
+    fn y_seek_memoizes_by_key() {
+        let t = SeekTable::new();
+        let k1 = YKey {
+            from_boundary: 0,
+            from_dir: 1,
+            to_boundary: 5,
+            to_dir: -1,
+        };
+        let k2 = YKey { from_dir: -1, ..k1 };
+        assert_eq!(t.y_seek(k1, || 0.5), 0.5);
+        assert_eq!(t.y_seek(k1, || unreachable!()), 0.5);
+        assert_eq!(t.y_seek(k2, || 0.75), 0.75);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_drops_entries() {
+        let t = SeekTable::new();
+        let _ = t.x_seek(1, 2, 4, || 9.0);
+        t.clear();
+        let mut solves = 0;
+        let _ = t.x_seek(1, 2, 4, || {
+            solves += 1;
+            9.0
+        });
+        assert_eq!(solves, 1);
+    }
+
+    #[test]
+    fn hit_rate_is_fraction_of_hits() {
+        let t = SeekTable::new();
+        assert_eq!(t.stats().hit_rate(), 0.0);
+        let _ = t.x_seek(0, 1, 4, || 1.0);
+        let _ = t.x_seek(0, 1, 4, || 1.0);
+        assert!((t.stats().hit_rate() - 0.5).abs() < 1e-15);
+    }
+}

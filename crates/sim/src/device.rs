@@ -92,6 +92,42 @@ pub trait StorageDevice {
 
     /// Restores the device to its initial mechanical state.
     fn reset(&mut self);
+
+    /// Positioning-locality bucket of `req` — a coarse key (the cylinder,
+    /// for mechanical devices) such that requests in nearby buckets tend to
+    /// have small positioning times. Must depend only on the request, not
+    /// on the mechanical state. The default (everything in bucket 0)
+    /// disables the pruned SPTF scan, which then degrades to the exact
+    /// full scan.
+    fn position_bucket(&self, req: &Request) -> u64 {
+        let _ = req;
+        0
+    }
+
+    /// Bucket closest to the head/tips in the current mechanical state.
+    fn current_bucket(&self) -> u64 {
+        0
+    }
+
+    /// Lower bound on [`StorageDevice::position_time`] for **any** request
+    /// whose bucket is at least `distance` buckets from
+    /// [`StorageDevice::current_bucket`]. Implementations must guarantee
+    /// the bound is sound and nondecreasing in `distance`; the pruned SPTF
+    /// scan stops expanding once this exceeds the best candidate found.
+    /// The default (0) never prunes.
+    fn min_position_time_at_bucket_distance(&self, distance: u64) -> f64 {
+        let _ = distance;
+        0.0
+    }
+
+    /// Lower bound on [`StorageDevice::position_time`] for any request in
+    /// `bucket`, given the current mechanical state. Sharper than the
+    /// distance bound (it may use the exact per-bucket seek time); used to
+    /// skip whole buckets. The default (0) never skips.
+    fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
+        let _ = bucket;
+        0.0
+    }
 }
 
 /// A trivially simple device with a constant service time, for tests and

@@ -129,7 +129,9 @@ impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D> {
     ///
     /// Panics if the workload yields decreasing arrival times.
     pub fn run(&mut self) -> SimReport {
-        let mut events: EventQueue<Ev> = EventQueue::new();
+        // One outstanding arrival plus one completion is the steady state;
+        // pre-size generously so the heap never reallocates mid-run.
+        let mut events: EventQueue<Ev> = EventQueue::with_capacity(16);
         let mut report = SimReport {
             completed: 0,
             makespan: SimTime::ZERO,

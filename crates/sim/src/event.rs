@@ -81,6 +81,22 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` events before the
+    /// backing heap reallocates — callers with a known steady-state event
+    /// population (e.g. the driver's arrival + completion pair) pre-size
+    /// once and never touch the allocator again.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `payload` to fire at `at`.
     pub fn push(&mut self, at: SimTime, payload: T) {
         let seq = self.seq;
@@ -152,6 +168,20 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_and_preserves_ordering() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        let cap = q.capacity();
+        for i in 0..64 {
+            q.push(SimTime::from_ms(f64::from(64 - i)), i);
+        }
+        assert_eq!(q.capacity(), cap, "pre-sized queue must not reallocate");
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expected: Vec<i32> = (0..64).rev().collect();
+        assert_eq!(order, expected);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the (small) slice of the `rand` 0.10 API the
+//! workspace actually uses: a seedable [`rngs::SmallRng`] plus the
+//! [`RngExt`] extension methods `random` and `random_range`. The generator
+//! is xoshiro256++ seeded through SplitMix64 — the same construction the
+//! real `SmallRng` uses on 64-bit targets — so quality and speed are
+//! comparable; the exact output stream is an implementation detail here
+//! just as it is upstream ("the algorithm is not guaranteed to remain the
+//! same across versions").
+//!
+//! Everything in the workspace draws randomness through
+//! `storage_sim::rng::seeded(seed)`, so determinism per seed is preserved:
+//! a given seed always produces the same stream within a build of this
+//! crate.
+
+#![warn(missing_docs)]
+
+/// Random number generators.
+pub mod rngs {
+    pub use crate::small::SmallRng;
+}
+
+mod small {
+    /// A small, fast, seedable, non-cryptographic RNG (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+
+        /// Returns the next 64 random bits.
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The seed is expanded to the full generator state with SplitMix64,
+    /// so nearby seeds produce uncorrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 state expansion (Vigna), as rand_core does.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        rngs::SmallRng::from_state(s)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's raw 64-bit output.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample(rng: &mut rngs::SmallRng) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample(rng: &mut rngs::SmallRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+/// Extension methods for drawing values from a generator.
+pub trait RngExt {
+    /// Draws a uniformly distributed value of type `T`.
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// Draws a uniform integer from a `start..end` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range(&mut self, range: std::ops::Range<u64>) -> u64;
+}
+
+impl RngExt for rngs::SmallRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let span = range.end - range.start;
+        // Unbiased rejection sampling (Lemire-style threshold on the
+        // widening multiply).
+        let zone = span.wrapping_neg() % span; // 2^64 mod span
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = u128::from(x) * u128::from(span);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= zone {
+                return range.start + hi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::SmallRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>());
+        assert_eq!(same.count(), 0);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_about_half() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.random::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_range_covers_and_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.random_range(5..15);
+            assert!((5..15).contains(&x));
+            seen[(x - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let _ = r.random_range(5..5);
+    }
+
+    #[test]
+    fn array_sampling_fills_all_bytes() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let a: [u8; 8] = r.random();
+        let b: [u8; 8] = r.random();
+        assert_ne!(a, b);
+        // 16-byte arrays consume two words.
+        let c: [u8; 16] = r.random();
+        assert!(c.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn bool_is_roughly_balanced() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let heads = (0..10_000).filter(|_| r.random::<bool>()).count();
+        assert!((4500..5500).contains(&heads), "heads {heads}");
+    }
+}
