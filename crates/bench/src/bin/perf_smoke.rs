@@ -166,16 +166,11 @@ fn main() {
         eprintln!("warning: fast path changed the simulation result — pick equivalence broken");
     }
 
-    let unix = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
     let mut json = String::new();
     let _ = write!(
         json,
         concat!(
             "{{\n",
-            "  \"generated_unix\": {},\n",
             "  \"host_threads\": {},\n",
             "  \"seek_table\": {{\n",
             "    \"queries\": {},\n",
@@ -204,7 +199,6 @@ fn main() {
             "  }}\n",
             "}}\n"
         ),
-        unix,
         threads,
         n_queries,
         direct_ns,
@@ -229,5 +223,15 @@ fn main() {
     match std::fs::write("BENCH_sched.json", &json) {
         Ok(()) => println!("\n[wrote BENCH_sched.json]"),
         Err(e) => eprintln!("warning: cannot write BENCH_sched.json: {e}"),
+    }
+    // The wall-clock timestamp lives in a separate, untracked stamp file so
+    // regenerating the committed JSON never churns its diff.
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let stamp = format!("{{\"generated_unix\": {unix}}}\n");
+    if let Err(e) = std::fs::write("BENCH_sched.stamp", stamp) {
+        eprintln!("warning: cannot write BENCH_sched.stamp: {e}");
     }
 }

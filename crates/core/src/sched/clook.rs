@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+use storage_sim::{Request, SchedCounters, Scheduler, SimTime, StorageDevice};
 
 /// Ascending-LBN cyclical sweep scheduler.
 ///
@@ -32,6 +32,7 @@ pub struct ClookScheduler {
     pending: BTreeMap<(u64, u64), Request>,
     /// LBN just past the end of the last serviced request.
     head: u64,
+    counters: SchedCounters,
 }
 
 impl ClookScheduler {
@@ -64,12 +65,20 @@ impl Scheduler for ClookScheduler {
             .map(|(&k, _)| k)
             .expect("pending is non-empty");
         let req = self.pending.remove(&key).expect("key just found");
+        // The sweep considers exactly one candidate: the next LBN up (or
+        // the wrap target).
+        self.counters.picks += 1;
+        self.counters.candidates_examined += 1;
         self.head = req.end_lbn();
         Some(req)
     }
 
     fn len(&self) -> usize {
         self.pending.len()
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
     }
 }
 

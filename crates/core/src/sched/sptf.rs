@@ -42,7 +42,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
 
-use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+use storage_sim::{Request, SchedCounters, Scheduler, SimTime, StorageDevice};
 
 /// Pending requests indexed by positioning bucket; entries carry the
 /// enqueue sequence number that breaks exact-tie scores.
@@ -61,6 +61,7 @@ fn pruned_best<F: Fn(&Request, f64) -> f64>(
     now: SimTime,
     score: F,
     credit_bound: f64,
+    counters: &mut SchedCounters,
 ) -> Option<(u64, usize)> {
     let cur = device.current_bucket();
     let mut down = buckets.range(..=cur).rev().peekable();
@@ -100,9 +101,11 @@ fn pruned_best<F: Fn(&Request, f64) -> f64>(
         };
         if let Some((best_score, ..)) = best {
             if device.bucket_position_time_floor(bucket) - credit_bound > best_score {
+                counters.buckets_pruned += 1;
                 continue;
             }
         }
+        counters.candidates_examined += entries.len() as u64;
         for (idx, (seq, req)) in entries.iter().enumerate() {
             let s = score(req, device.position_time(req, now));
             let better = match best {
@@ -160,6 +163,7 @@ pub struct SptfScheduler {
     buckets: BucketIndex,
     len: usize,
     next_seq: u64,
+    counters: SchedCounters,
 }
 
 impl SptfScheduler {
@@ -193,13 +197,25 @@ impl Scheduler for SptfScheduler {
 
     fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
         self.index_arrivals(device);
-        let (bucket, idx) = pruned_best(&self.buckets, device, now, |_, t| t, 0.0)?;
+        let (bucket, idx) = pruned_best(
+            &self.buckets,
+            device,
+            now,
+            |_, t| t,
+            0.0,
+            &mut self.counters,
+        )?;
+        self.counters.picks += 1;
         self.len -= 1;
         Some(take_entry(&mut self.buckets, bucket, idx).1)
     }
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
     }
 }
 
@@ -210,6 +226,7 @@ impl Scheduler for SptfScheduler {
 #[derive(Debug, Default)]
 pub struct NaiveSptfScheduler {
     pending: Vec<Request>,
+    counters: SchedCounters,
 }
 
 impl NaiveSptfScheduler {
@@ -232,6 +249,8 @@ impl Scheduler for NaiveSptfScheduler {
         if self.pending.is_empty() {
             return None;
         }
+        self.counters.picks += 1;
+        self.counters.candidates_examined += self.pending.len() as u64;
         let mut best = 0usize;
         let mut best_time = f64::INFINITY;
         for (i, req) in self.pending.iter().enumerate() {
@@ -248,6 +267,10 @@ impl Scheduler for NaiveSptfScheduler {
 
     fn len(&self) -> usize {
         self.pending.len()
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
     }
 }
 
@@ -271,6 +294,7 @@ pub struct AgedSptfScheduler {
     next_seq: u64,
     weight: f64,
     name: String,
+    counters: SchedCounters,
 }
 
 impl AgedSptfScheduler {
@@ -289,6 +313,7 @@ impl AgedSptfScheduler {
             next_seq: 0,
             weight,
             name: format!("SPTF-aged({weight})"),
+            counters: SchedCounters::default(),
         }
     }
 
@@ -325,7 +350,15 @@ impl Scheduler for AgedSptfScheduler {
             let wait = (now - req.arrival).as_secs().max(0.0);
             t - weight * wait
         };
-        let (bucket, idx) = pruned_best(&self.buckets, device, now, score, credit_bound)?;
+        let (bucket, idx) = pruned_best(
+            &self.buckets,
+            device,
+            now,
+            score,
+            credit_bound,
+            &mut self.counters,
+        )?;
+        self.counters.picks += 1;
         let (seq, req) = take_entry(&mut self.buckets, bucket, idx);
         self.arrivals.remove(&(req.arrival, seq));
         self.len -= 1;
@@ -334,6 +367,10 @@ impl Scheduler for AgedSptfScheduler {
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
     }
 }
 
@@ -344,6 +381,7 @@ pub struct NaiveAgedSptfScheduler {
     pending: Vec<Request>,
     weight: f64,
     name: String,
+    counters: SchedCounters,
 }
 
 impl NaiveAgedSptfScheduler {
@@ -358,6 +396,7 @@ impl NaiveAgedSptfScheduler {
             pending: Vec::new(),
             weight,
             name: format!("SPTF-aged({weight})"),
+            counters: SchedCounters::default(),
         }
     }
 }
@@ -375,6 +414,8 @@ impl Scheduler for NaiveAgedSptfScheduler {
         if self.pending.is_empty() {
             return None;
         }
+        self.counters.picks += 1;
+        self.counters.candidates_examined += self.pending.len() as u64;
         let mut best = 0usize;
         let mut best_score = f64::INFINITY;
         for (i, req) in self.pending.iter().enumerate() {
@@ -390,6 +431,10 @@ impl Scheduler for NaiveAgedSptfScheduler {
 
     fn len(&self) -> usize {
         self.pending.len()
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
     }
 }
 
@@ -554,6 +599,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pruned_scan_examines_fewer_candidates_than_naive() {
+        let dev = MemsDevice::new(MemsParams::default());
+        let mut pruned = SptfScheduler::new();
+        let mut naive = NaiveSptfScheduler::new();
+        let mut next_lbn = lbn_stream(0xC0FFEE, dev.capacity_lbns());
+        for i in 0..256 {
+            let r = Request::new(i, SimTime::ZERO, next_lbn(), 8, IoKind::Read);
+            pruned.enqueue(r);
+            naive.enqueue(r);
+        }
+        while pruned.pick(&dev, SimTime::ZERO).is_some() {
+            let _ = naive.pick(&dev, SimTime::ZERO);
+        }
+        let (cp, cn) = (pruned.counters(), naive.counters());
+        assert_eq!(cp.picks, 256);
+        assert_eq!(cn.picks, 256);
+        // Naive scans the whole queue every pick: 256 + 255 + ... + 1.
+        assert_eq!(cn.candidates_examined, 256 * 257 / 2);
+        assert!(
+            cp.candidates_examined < cn.candidates_examined / 2,
+            "prune saved less than half the scans: {} vs {}",
+            cp.candidates_examined,
+            cn.candidates_examined
+        );
+        assert!(cp.candidates_examined >= cp.picks, "every pick scores >= 1");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+use storage_sim::{Request, SchedCounters, Scheduler, SimTime, StorageDevice};
 
 /// Greedy nearest-LBN scheduler.
 ///
@@ -33,6 +33,7 @@ pub struct SstfScheduler {
     pending: BTreeMap<(u64, u64), Request>,
     /// LBN just past the end of the last serviced request.
     head: u64,
+    counters: SchedCounters,
 }
 
 impl SstfScheduler {
@@ -65,6 +66,8 @@ impl Scheduler for SstfScheduler {
             .range((self.head, u64::MAX)..)
             .next()
             .map(|(&k, _)| k);
+        self.counters.candidates_examined +=
+            u64::from(below.is_some()) + u64::from(above.is_some());
         let key = match (below, above) {
             (None, None) => return None,
             (Some(b), None) => b,
@@ -78,12 +81,17 @@ impl Scheduler for SstfScheduler {
             }
         };
         let req = self.pending.remove(&key).expect("key just found");
+        self.counters.picks += 1;
         self.head = req.end_lbn();
         Some(req)
     }
 
     fn len(&self) -> usize {
         self.pending.len()
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
     }
 }
 

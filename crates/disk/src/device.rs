@@ -7,10 +7,11 @@
 //! the key contrast with the MEMS sled, §2.4.8), zoned transfer rates, and
 //! head/cylinder switches with skewed layout during multi-track transfers.
 
-use storage_sim::{IoKind, Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{IoKind, PhaseEnergy, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 use crate::geometry::DiskMapper;
 use crate::params::DiskParams;
+use crate::power::DiskEnergyModel;
 use crate::seek::SeekCurve;
 
 /// A zoned, rotating disk drive behind the [`StorageDevice`] interface.
@@ -35,6 +36,7 @@ pub struct DiskDevice {
     cylinder: u32,
     /// Active head.
     head: u32,
+    energy_model: DiskEnergyModel,
 }
 
 impl DiskDevice {
@@ -51,7 +53,20 @@ impl DiskDevice {
             curve,
             cylinder: 0,
             head: 0,
+            energy_model: DiskEnergyModel::atlas_10k(),
         }
+    }
+
+    /// Replaces the energy model used for per-phase energy attribution
+    /// (defaults to the Atlas 10K class matching the default parameters).
+    pub fn with_energy_model(mut self, model: DiskEnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// The energy model used for per-phase energy attribution.
+    pub fn energy_model(&self) -> &DiskEnergyModel {
+        &self.energy_model
     }
 
     /// The drive parameters.
@@ -190,6 +205,17 @@ impl StorageDevice for DiskDevice {
             .cylinder
             .abs_diff(u32::try_from(bucket).unwrap_or(u32::MAX));
         self.curve.time(d)
+    }
+
+    /// Disks draw a single active power while servicing (§6.3), so the
+    /// per-phase attribution is active power times each phase's duration.
+    fn phase_energy(&self, b: &ServiceBreakdown) -> PhaseEnergy {
+        let p = self.energy_model.active_power;
+        PhaseEnergy {
+            positioning_j: p * b.positioning,
+            transfer_j: p * b.transfer,
+            overhead_j: p * b.overhead,
+        }
     }
 
     fn reset(&mut self) {
@@ -355,6 +381,17 @@ mod tests {
             assert!(floor >= prev, "floor not monotone at distance {dist}");
             prev = floor;
         }
+    }
+
+    #[test]
+    fn phase_energy_is_active_power_by_phase() {
+        let mut d = disk();
+        let b = d.service(&req(2_000_000, 16, IoKind::Read), SimTime::ZERO);
+        let pe = d.phase_energy(&b);
+        let p = d.energy_model().active_power;
+        assert!((pe.total() - p * b.total()).abs() < 1e-12);
+        assert!((pe.positioning_j - p * b.positioning).abs() < 1e-15);
+        assert!((pe.transfer_j - p * b.transfer).abs() < 1e-15);
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! at the fixed access velocity, and switch tracks/cylinders with
 //! turnarounds whose cost depends on sled position and direction.
 
-use storage_sim::{Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{PhaseEnergy, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 use crate::geometry::{Mapper, Segment};
 use crate::kinematics::SpringSled;
 use crate::params::{MemsGeometry, MemsParams};
+use crate::power::MemsEnergyModel;
 use crate::seek_table::{SeekTable, SeekTableStats, YKey};
 
 /// Tolerance for deciding a continuous coordinate sits exactly on the
@@ -64,6 +65,7 @@ pub struct MemsDevice {
     name: String,
     seek_table: SeekTable,
     use_seek_table: bool,
+    energy_model: MemsEnergyModel,
 }
 
 impl MemsDevice {
@@ -95,7 +97,19 @@ impl MemsDevice {
             name,
             seek_table: SeekTable::new(),
             use_seek_table: true,
+            energy_model: MemsEnergyModel::default(),
         }
+    }
+
+    /// Replaces the energy model used for per-phase energy attribution.
+    pub fn with_energy_model(mut self, model: MemsEnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// The energy model used for per-phase energy attribution.
+    pub fn energy_model(&self) -> &MemsEnergyModel {
+        &self.energy_model
     }
 
     /// Enables or disables the seek-time memo table (on by default). The
@@ -387,6 +401,22 @@ impl StorageDevice for MemsDevice {
     fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
         self.cylinder_positioning_floor(bucket as u32)
     }
+
+    /// Splits [`MemsEnergyModel::request_energy`] across the request's
+    /// phases: the sled draws actuation power whenever it moves
+    /// (positioning and transfer), the tips draw sensing power only over
+    /// media time (turnarounds excluded), and the electronics baseline
+    /// runs throughout. The three parts sum to exactly the model's total.
+    fn phase_energy(&self, b: &ServiceBreakdown) -> PhaseEnergy {
+        let m = &self.energy_model;
+        let tips = f64::from(self.params.active_tips);
+        PhaseEnergy {
+            positioning_j: (m.sled_power + m.active_base_power) * b.positioning,
+            transfer_j: tips * m.tip_power * (b.transfer - b.turnaround)
+                + (m.sled_power + m.active_base_power) * b.transfer,
+            overhead_j: m.active_base_power * b.overhead,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -636,6 +666,21 @@ mod tests {
             assert!(f >= prev, "floor decreased at distance {dist}");
             prev = f;
         }
+    }
+
+    #[test]
+    fn phase_energy_partitions_the_model_total() {
+        let mut d = device();
+        let r = req(1_234_567, 64);
+        let b = d.service(&r, SimTime::ZERO);
+        let pe = d.phase_energy(&b);
+        let total = d.energy_model().request_energy(&b, d.params().active_tips);
+        assert!(
+            (pe.total() - total).abs() <= 1e-12 * total.max(1.0),
+            "phase energies {pe:?} must sum to the model total {total}"
+        );
+        assert!(pe.positioning_j > 0.0, "seek+settle draws sled power");
+        assert!(pe.transfer_j > pe.positioning_j, "tips dominate (§7)");
     }
 
     #[test]

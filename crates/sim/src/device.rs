@@ -63,6 +63,35 @@ impl ServiceBreakdown {
     }
 }
 
+/// Per-request energy attribution by service phase, in joules.
+///
+/// Produced by [`StorageDevice::phase_energy`] from a completed request's
+/// [`ServiceBreakdown`] and the device's power model; the three phases
+/// partition the request, so the fields sum to the request's total energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseEnergy {
+    /// Energy spent positioning (seek/settle/rotation), J.
+    pub positioning_j: f64,
+    /// Energy spent on the media transfer (including turnarounds), J.
+    pub transfer_j: f64,
+    /// Energy spent during fixed controller/bus overhead, J.
+    pub overhead_j: f64,
+}
+
+impl PhaseEnergy {
+    /// Total request energy in joules.
+    pub fn total(&self) -> f64 {
+        self.positioning_j + self.transfer_j + self.overhead_j
+    }
+
+    /// Element-wise accumulation, for summing over a run.
+    pub fn accumulate(&mut self, other: &PhaseEnergy) {
+        self.positioning_j += other.positioning_j;
+        self.transfer_j += other.transfer_j;
+        self.overhead_j += other.overhead_j;
+    }
+}
+
 /// Coarse power state of a device (§7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PowerState {
@@ -127,6 +156,15 @@ pub trait StorageDevice {
     fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
         let _ = bucket;
         0.0
+    }
+
+    /// Attributes the energy of a serviced request to its phases using the
+    /// device's power model. Consumed by the observability layer; never
+    /// called on the simulation's hot path unless a tracer is attached.
+    /// The default (all zeros) is for devices without a power model.
+    fn phase_energy(&self, breakdown: &ServiceBreakdown) -> PhaseEnergy {
+        let _ = breakdown;
+        PhaseEnergy::default()
     }
 }
 
@@ -214,6 +252,29 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.seek_x, 1.5);
         assert_eq!(a.turnaround_count, 3);
+    }
+
+    #[test]
+    fn phase_energy_totals_and_accumulates() {
+        let mut a = PhaseEnergy {
+            positioning_j: 1.0,
+            transfer_j: 2.0,
+            overhead_j: 0.5,
+        };
+        assert!((a.total() - 3.5).abs() < 1e-15);
+        a.accumulate(&PhaseEnergy {
+            positioning_j: 0.5,
+            transfer_j: 0.0,
+            overhead_j: 0.5,
+        });
+        assert_eq!(a.positioning_j, 1.5);
+        assert_eq!(a.overhead_j, 1.0);
+        // Devices without a power model attribute zero energy.
+        let d = ConstantDevice::new(10, 1e-3);
+        assert_eq!(
+            d.phase_energy(&ServiceBreakdown::default()),
+            PhaseEnergy::default()
+        );
     }
 
     #[test]

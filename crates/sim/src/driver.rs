@@ -10,9 +10,10 @@
 use crate::device::{ServiceBreakdown, StorageDevice};
 use crate::event::EventQueue;
 use crate::request::{Completion, Request};
-use crate::sched::Scheduler;
+use crate::sched::{SchedCounters, Scheduler};
 use crate::stats::{ResponseStats, Welford};
 use crate::time::SimTime;
+use crate::tracer::{NoopTracer, Tracer};
 use crate::workload::Workload;
 
 /// Aggregated results of a simulation run.
@@ -65,6 +66,11 @@ enum Ev {
 /// Couples a [`Workload`], a [`Scheduler`], and a [`StorageDevice`] and
 /// runs the workload to exhaustion.
 ///
+/// The driver is generic over a [`Tracer`]; the default [`NoopTracer`]
+/// compiles every observation hook to nothing, so an untraced driver is
+/// exactly the pre-observability driver (asserted bit-identical by test).
+/// Attach a recording tracer with [`Driver::with_tracer`].
+///
 /// # Examples
 ///
 /// ```
@@ -84,24 +90,42 @@ enum Ev {
 /// // Second request queues behind the first: responses are 1 ms and 2 ms.
 /// assert!((report.response.mean_ms() - 1.5).abs() < 1e-9);
 /// ```
-pub struct Driver<W, S, D> {
+pub struct Driver<W, S, D, T = NoopTracer> {
     workload: W,
     scheduler: S,
     device: D,
+    tracer: T,
     warmup_requests: u64,
     record_completions: bool,
 }
 
-impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D> {
-    /// Creates a driver with no warm-up exclusion and completion recording
-    /// disabled.
+impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D, NoopTracer> {
+    /// Creates an untraced driver with no warm-up exclusion and completion
+    /// recording disabled.
     pub fn new(workload: W, scheduler: S, device: D) -> Self {
         Driver {
             workload,
             scheduler,
             device,
+            tracer: NoopTracer,
             warmup_requests: 0,
             record_completions: false,
+        }
+    }
+}
+
+impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> {
+    /// Replaces the tracer, rebinding the driver to the new tracer type.
+    /// Typically called right after [`Driver::new`] to attach a
+    /// [`crate::RingTracer`].
+    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> Driver<W, S, D, T2> {
+        Driver {
+            workload: self.workload,
+            scheduler: self.scheduler,
+            device: self.device,
+            tracer,
+            warmup_requests: self.warmup_requests,
+            record_completions: self.record_completions,
         }
     }
 
@@ -121,6 +145,12 @@ impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D> {
     /// after [`Driver::run`]).
     pub fn device(&self) -> &D {
         &self.device
+    }
+
+    /// Returns a reference to the tracer (e.g. to export a
+    /// [`crate::RingTracer`]'s events after [`Driver::run`]).
+    pub fn tracer(&self) -> &T {
+        &self.tracer
     }
 
     /// Runs the workload to exhaustion and returns the aggregated report.
@@ -167,10 +197,16 @@ impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D> {
             let now = event.at;
             depth_integral += self.scheduler.len() as f64 * (now - last_event_time).as_secs();
             last_event_time = now;
+            if T::ENABLED {
+                self.tracer.on_queue_depth(now, self.scheduler.len());
+            }
 
             match event.payload {
                 Ev::Arrival(req) => {
                     self.scheduler.enqueue(req);
+                    if T::ENABLED {
+                        self.tracer.on_arrival(&req, now, self.scheduler.len());
+                    }
                     report.max_queue_depth = report.max_queue_depth.max(self.scheduler.len());
                     if let Some(next) = self.workload.next_request() {
                         assert!(
@@ -195,6 +231,9 @@ impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D> {
                             .push(completion.service_time().as_secs());
                     }
                     report.makespan = report.makespan.max(completion.completion);
+                    if T::ENABLED {
+                        self.tracer.on_complete(&completion);
+                    }
                     if let Some(all) = report.completions.as_mut() {
                         all.push(completion);
                     }
@@ -220,9 +259,27 @@ impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D> {
         events: &mut EventQueue<Ev>,
         report: &mut SimReport,
     ) -> bool {
+        let depth_before = if T::ENABLED { self.scheduler.len() } else { 0 };
+        let counters_before = if T::ENABLED {
+            self.scheduler.counters()
+        } else {
+            SchedCounters::default()
+        };
         match self.scheduler.pick(&self.device, now) {
             Some(req) => {
+                if T::ENABLED {
+                    let examined = self
+                        .scheduler
+                        .counters()
+                        .candidates_examined
+                        .saturating_sub(counters_before.candidates_examined);
+                    self.tracer.on_pick(&req, now, depth_before, examined);
+                }
                 let breakdown = self.device.service(&req, now);
+                if T::ENABLED {
+                    let energy = self.device.phase_energy(&breakdown);
+                    self.tracer.on_service(&req, now, &breakdown, &energy);
+                }
                 let total = breakdown.total_time();
                 report.breakdown_sum.accumulate(&breakdown);
                 report.busy_secs += breakdown.total();
@@ -314,6 +371,33 @@ mod tests {
         let r = d.run();
         assert_eq!(r.completed, 1);
         assert!((r.response.mean_ms() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run_exactly() {
+        use crate::tracer::RingTracer;
+        let reqs = vec![req(0, 0.0, 0), req(1, 0.5, 8), req(2, 0.6, 16)];
+        let plain = Driver::new(
+            VecWorkload::new(reqs.clone()),
+            FifoScheduler::new(),
+            ConstantDevice::new(100, 1e-3),
+        )
+        .run();
+        let mut traced_driver = Driver::new(
+            VecWorkload::new(reqs),
+            FifoScheduler::new(),
+            ConstantDevice::new(100, 1e-3),
+        )
+        .with_tracer(RingTracer::new(64));
+        let traced = traced_driver.run();
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.response.mean(), traced.response.mean());
+        assert_eq!(plain.busy_secs, traced.busy_secs);
+        let t = traced_driver.tracer();
+        assert_eq!(t.counters().arrivals, 3);
+        assert_eq!(t.counters().picks, 3);
+        assert_eq!(t.counters().completions, 3);
     }
 
     #[test]

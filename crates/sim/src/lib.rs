@@ -46,14 +46,16 @@ pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
+pub mod tracer;
 pub mod workload;
 
 pub use closed::{closed_loop, ClosedReport, RequestSource};
-pub use device::{ConstantDevice, PowerState, ServiceBreakdown, StorageDevice};
+pub use device::{ConstantDevice, PhaseEnergy, PowerState, ServiceBreakdown, StorageDevice};
 pub use driver::{Driver, SimReport};
 pub use event::{Event, EventQueue};
 pub use request::{Completion, IoKind, Request, RequestId};
-pub use sched::{FifoScheduler, Scheduler};
+pub use sched::{FifoScheduler, SchedCounters, Scheduler};
 pub use stats::{Histogram, ResponseStats, Welford};
 pub use time::SimTime;
+pub use tracer::{NoopTracer, RingTracer, TraceCounters, TraceEvent, Tracer};
 pub use workload::{FnWorkload, VecWorkload, Workload};

@@ -11,6 +11,22 @@ use crate::device::StorageDevice;
 use crate::request::Request;
 use crate::time::SimTime;
 
+/// Monotonic work counters a scheduler accumulates across picks.
+///
+/// The observability layer reads these by delta around each pick to
+/// attribute per-pick work (candidates examined vs. queue depth — the
+/// pruned-SPTF efficiency metric). Counting must not change which request
+/// a scheduler picks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Successful picks (calls to `pick` that returned a request).
+    pub picks: u64,
+    /// Candidates whose exact positioning time (or score) was evaluated.
+    pub candidates_examined: u64,
+    /// Whole buckets skipped by a lower-bound prune (pruned SPTF only).
+    pub buckets_pruned: u64,
+}
+
 /// A request scheduler: holds pending requests and picks the next one to
 /// service whenever the device goes idle.
 pub trait Scheduler {
@@ -31,6 +47,12 @@ pub trait Scheduler {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Monotonic work counters since construction. The default (all
+    /// zeros) is for schedulers that do not instrument their picks.
+    fn counters(&self) -> SchedCounters {
+        SchedCounters::default()
+    }
 }
 
 /// First-come-first-served scheduling (the paper's FCFS reference point).
@@ -50,6 +72,7 @@ pub trait Scheduler {
 #[derive(Debug, Default)]
 pub struct FifoScheduler {
     queue: VecDeque<Request>,
+    counters: SchedCounters,
 }
 
 impl FifoScheduler {
@@ -69,11 +92,21 @@ impl Scheduler for FifoScheduler {
     }
 
     fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
-        self.queue.pop_front()
+        let req = self.queue.pop_front();
+        if req.is_some() {
+            // FCFS considers exactly the head of the queue.
+            self.counters.picks += 1;
+            self.counters.candidates_examined += 1;
+        }
+        req
     }
 
     fn len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
     }
 }
 
@@ -92,6 +125,10 @@ impl Scheduler for Box<dyn Scheduler> {
 
     fn len(&self) -> usize {
         self.as_ref().len()
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.as_ref().counters()
     }
 }
 
