@@ -91,6 +91,7 @@ fn main() -> ExitCode {
                 turnaround,
                 turnaround_count,
                 overhead,
+                fault_recovery,
                 ..
             } => {
                 let b = ServiceBreakdown {
@@ -103,6 +104,7 @@ fn main() -> ExitCode {
                     turnaround,
                     turnaround_count,
                     overhead,
+                    fault_recovery,
                 };
                 services.insert(id, (t, lbn, sectors, b));
                 service_order.push(id);
@@ -142,7 +144,7 @@ fn main() -> ExitCode {
                     failures += 1;
                 }
             }
-            TraceEvent::Pick { .. } => {}
+            TraceEvent::Pick { .. } | TraceEvent::Fault { .. } => {}
         }
     }
     if completes != report.completed {

@@ -125,6 +125,7 @@ pub(crate) fn combine(total: f64, first: ServiceBreakdown) -> ServiceBreakdown {
         turnaround: first.turnaround,
         turnaround_count: first.turnaround_count,
         overhead: first.overhead,
+        fault_recovery: first.fault_recovery,
     }
 }
 

@@ -113,6 +113,13 @@ impl FaultState {
         self.failed_tips.len()
     }
 
+    /// Returns `true` if no faults have been recorded — the fast path the
+    /// online degraded wrapper uses to skip per-request stripe scans on a
+    /// healthy device.
+    pub fn is_clean(&self) -> bool {
+        self.failed_tips.is_empty() && self.defects.is_empty()
+    }
+
     /// Returns `true` if the tip sector at (tip, row) is unreadable.
     pub fn tip_sector_lost(&self, tip: u32, row: u32) -> bool {
         self.failed_tips.contains(&tip)

@@ -16,11 +16,17 @@
 //!   capacity-vs-tolerance trade-off (§6.1.1).
 //! * [`read_modify_write`] / [`Raid5Array`] — Table 2's RMW comparison
 //!   and the RAID-5 small-write engine it accelerates (§6.2).
-//! * [`disk_seek_error_penalty`] / [`mems_seek_error_penalty`] — §6.1.3.
+//! * [`disk_seek_error_penalty`] / [`mems_seek_error_penalty`] — §6.1.3,
+//!   plus the [`RetryPolicy`]/[`resolve_transient`] bounded-backoff retry
+//!   machinery for transient errors.
+//! * [`DegradedDevice`] — the *online* composition: a device wrapper that
+//!   reacts to mid-run fault events (retry, spare-tip remap, RS
+//!   reconstruction reads) and bills recovery as real service time.
 //! * [`array_ready_time`] / [`sync_write_burst_mean`] — §6.3 restart and
 //!   crash-recovery costs.
 
 mod crash;
+mod degraded;
 mod gf256;
 mod inject;
 mod remap;
@@ -32,12 +38,16 @@ mod stripe;
 mod vertical;
 
 pub use crash::{array_ready_time, sync_write_burst_mean};
+pub use degraded::{DegradedConfig, DegradedCounters, DegradedDevice};
 pub use gf256::Gf256;
 pub use inject::{FaultState, MediaDefect};
-pub use remap::{RemapPolicy, RemappedDevice, SpareTipPolicy};
+pub use remap::{RemapPolicy, RemapTable, RemappedDevice, SpareTipPolicy};
 pub use rmw::{read_modify_write, Raid5Array, RmwBreakdown};
 pub use rs::ReedSolomon;
-pub use seek_error::{disk_seek_error_penalty, mems_seek_error_penalty, SeekErrorPenalty};
+pub use seek_error::{
+    disk_seek_error_penalty, mems_seek_error_penalty, resolve_transient, RetryOutcome, RetryPolicy,
+    SeekErrorPenalty,
+};
 pub use store::ReliableStore;
 pub use stripe::{StripeCodec, DATA_TIPS, TIP_BYTES};
 pub use vertical::{crc8, TipSector};

@@ -24,6 +24,66 @@ pub enum RemapPolicy {
     FarSpare,
 }
 
+/// A defective-LBN → spare-LBN redirection table under one
+/// [`RemapPolicy`], usable standalone (the online `DegradedDevice` embeds
+/// one) or via the [`RemappedDevice`] wrapper.
+#[derive(Debug, Clone)]
+pub struct RemapTable {
+    policy: RemapPolicy,
+    /// Defective LBN → spare LBN (used by [`RemapPolicy::FarSpare`]).
+    table: HashMap<u64, u64>,
+    /// Next spare slot to hand out.
+    next_spare: u64,
+}
+
+impl RemapTable {
+    /// Creates an empty table. `spare_base` is the first LBN of the spare
+    /// region far remaps are directed to.
+    pub fn new(policy: RemapPolicy, spare_base: u64) -> Self {
+        RemapTable {
+            policy,
+            table: HashMap::new(),
+            next_spare: spare_base,
+        }
+    }
+
+    /// Marks `lbn` defective, allocating a spare for it.
+    pub fn remap(&mut self, lbn: u64) {
+        let spare = self.next_spare;
+        self.next_spare += 1;
+        self.table.insert(lbn, spare);
+    }
+
+    /// Number of remapped sectors.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Returns `true` if nothing is remapped.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The table's policy.
+    pub fn policy(&self) -> RemapPolicy {
+        self.policy
+    }
+
+    /// Applies the policy to a request: under [`RemapPolicy::SpareTip`]
+    /// the request is unchanged (the spare tip reads in the same pass);
+    /// under [`RemapPolicy::FarSpare`] a request touching a defective
+    /// first sector is redirected to its spare.
+    pub fn effective(&self, req: &Request) -> Request {
+        match self.policy {
+            RemapPolicy::SpareTip => *req,
+            RemapPolicy::FarSpare => match self.table.get(&req.lbn) {
+                Some(&spare) => Request::new(req.id, req.arrival, spare, req.sectors, req.kind),
+                None => *req,
+            },
+        }
+    }
+}
+
 /// A device wrapper applying a defective-sector remap table.
 ///
 /// # Examples
@@ -45,11 +105,7 @@ pub enum RemapPolicy {
 #[derive(Debug, Clone)]
 pub struct RemappedDevice<D> {
     inner: D,
-    policy: RemapPolicy,
-    /// Defective LBN → spare LBN (used by [`RemapPolicy::FarSpare`]).
-    table: HashMap<u64, u64>,
-    /// Next spare slot to hand out.
-    next_spare: u64,
+    table: RemapTable,
 }
 
 impl<D: StorageDevice> RemappedDevice<D> {
@@ -58,17 +114,13 @@ impl<D: StorageDevice> RemappedDevice<D> {
     pub fn new(inner: D, policy: RemapPolicy, spare_base: u64) -> Self {
         RemappedDevice {
             inner,
-            policy,
-            table: HashMap::new(),
-            next_spare: spare_base,
+            table: RemapTable::new(policy, spare_base),
         }
     }
 
     /// Marks `lbn` defective, allocating a spare for it.
     pub fn remap(&mut self, lbn: u64) {
-        let spare = self.next_spare;
-        self.next_spare += 1;
-        self.table.insert(lbn, spare);
+        self.table.remap(lbn);
     }
 
     /// Number of remapped sectors.
@@ -81,18 +133,9 @@ impl<D: StorageDevice> RemappedDevice<D> {
         &self.inner
     }
 
-    /// Applies the policy to a request: under [`RemapPolicy::SpareTip`]
-    /// the request is unchanged (the spare tip reads in the same pass);
-    /// under [`RemapPolicy::FarSpare`] a request touching a defective
-    /// first sector is redirected to its spare.
+    /// Applies the table's policy to a request.
     fn effective(&self, req: &Request) -> Request {
-        match self.policy {
-            RemapPolicy::SpareTip => *req,
-            RemapPolicy::FarSpare => match self.table.get(&req.lbn) {
-                Some(&spare) => Request::new(req.id, req.arrival, spare, req.sectors, req.kind),
-                None => *req,
-            },
-        }
+        self.table.effective(req)
     }
 }
 

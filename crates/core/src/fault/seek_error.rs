@@ -8,6 +8,8 @@
 
 use atlas_disk::DiskParams;
 use mems_device::{MemsParams, SpringSled};
+use rand::rngs::SmallRng;
+use storage_sim::rng;
 
 /// Seek-error penalty statistics, in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +81,107 @@ pub fn mems_seek_error_penalty(params: &MemsParams) -> SeekErrorPenalty {
     }
 }
 
+/// Bounded-exponential-backoff retry policy for transient seek errors.
+///
+/// Attempt `i` (1-based) pays the device's per-attempt recovery penalty
+/// plus a backoff of `base_backoff · multiplier^(i-1)`, capped at
+/// `max_backoff`; after `max_retries` failed attempts the error is
+/// surfaced as unrecoverable rather than silently swallowed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of retry attempts before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds.
+    pub base_backoff: f64,
+    /// Geometric growth factor per subsequent retry.
+    pub multiplier: f64,
+    /// Upper bound on any single backoff, seconds.
+    pub max_backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 50 µs initial backoff doubling to at most 1 ms —
+    /// sized so a typical recovery costs well under one revolution-scale
+    /// penalty even on the disk model.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: 50e-6,
+            multiplier: 2.0,
+            max_backoff: 1e-3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before 1-based retry `attempt`, seconds.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        debug_assert!(attempt >= 1);
+        let raw = self.base_backoff * self.multiplier.powi(attempt as i32 - 1);
+        raw.min(self.max_backoff)
+    }
+}
+
+/// The result of driving a transient seek error through a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryOutcome {
+    /// A retry succeeded; `delay` is the total recovery time billed.
+    Recovered {
+        /// Attempts made, including the successful one.
+        attempts: u32,
+        /// Total penalty + backoff time spent, seconds.
+        delay: f64,
+    },
+    /// All retries failed; the error must surface to the fault layer
+    /// (reconstruction or reported loss), never as silent success.
+    Exhausted {
+        /// Attempts made (equals the policy's `max_retries`).
+        attempts: u32,
+        /// Total penalty + backoff time spent before giving up, seconds.
+        delay: f64,
+    },
+}
+
+impl RetryOutcome {
+    /// Total recovery time billed, regardless of outcome.
+    pub fn delay(&self) -> f64 {
+        match *self {
+            RetryOutcome::Recovered { delay, .. } | RetryOutcome::Exhausted { delay, .. } => delay,
+        }
+    }
+
+    /// Whether the retry sequence recovered the request.
+    pub fn recovered(&self) -> bool {
+        matches!(self, RetryOutcome::Recovered { .. })
+    }
+}
+
+/// Resolves one transient seek error: each attempt pays
+/// `penalty_per_attempt` plus the policy's backoff, then succeeds with
+/// probability `recover_prob` (drawn from `rng_state`, so the decision is
+/// deterministic per seed). Exhaustion is an explicit outcome.
+pub fn resolve_transient(
+    policy: &RetryPolicy,
+    penalty_per_attempt: f64,
+    recover_prob: f64,
+    rng_state: &mut SmallRng,
+) -> RetryOutcome {
+    let mut delay = 0.0;
+    for attempt in 1..=policy.max_retries.max(1) {
+        delay += penalty_per_attempt + policy.backoff(attempt);
+        if rng::bernoulli(rng_state, recover_prob) {
+            return RetryOutcome::Recovered {
+                attempts: attempt,
+                delay,
+            };
+        }
+    }
+    RetryOutcome::Exhausted {
+        attempts: policy.max_retries.max(1),
+        delay,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +210,45 @@ mod tests {
         let d = disk_seek_error_penalty(&DiskParams::quantum_atlas_10k(), 1.5e-3);
         let m = mems_seek_error_penalty(&MemsParams::default());
         assert!(d.mean / m.mean > 5.0, "disk {} vs mems {}", d.mean, m.mean);
+    }
+
+    #[test]
+    fn backoff_grows_geometrically_and_caps() {
+        let p = RetryPolicy::default();
+        assert!((p.backoff(1) - 50e-6).abs() < 1e-15);
+        assert!((p.backoff(2) - 100e-6).abs() < 1e-15);
+        assert!((p.backoff(3) - 200e-6).abs() < 1e-15);
+        assert_eq!(p.backoff(20), p.max_backoff, "cap binds eventually");
+    }
+
+    #[test]
+    fn certain_recovery_takes_one_attempt() {
+        let p = RetryPolicy::default();
+        let mut r = rng::seeded(1);
+        let out = resolve_transient(&p, 1e-3, 1.0, &mut r);
+        assert_eq!(
+            out,
+            RetryOutcome::Recovered {
+                attempts: 1,
+                delay: 1e-3 + p.backoff(1)
+            }
+        );
+    }
+
+    #[test]
+    fn impossible_recovery_exhausts_with_full_bill() {
+        let p = RetryPolicy::default();
+        let mut r = rng::seeded(1);
+        let out = resolve_transient(&p, 1e-3, 0.0, &mut r);
+        let expected: f64 = (1..=p.max_retries).map(|a| 1e-3 + p.backoff(a)).sum();
+        match out {
+            RetryOutcome::Exhausted { attempts, delay } => {
+                assert_eq!(attempts, p.max_retries);
+                assert!((delay - expected).abs() < 1e-15);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert!(!out.recovered());
+        assert!(out.delay() > 0.0);
     }
 }

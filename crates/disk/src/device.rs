@@ -208,11 +208,12 @@ impl StorageDevice for DiskDevice {
     }
 
     /// Disks draw a single active power while servicing (§6.3), so the
-    /// per-phase attribution is active power times each phase's duration.
+    /// per-phase attribution is active power times each phase's duration
+    /// (fault-recovery time bills as positioning — the arm is re-seeking).
     fn phase_energy(&self, b: &ServiceBreakdown) -> PhaseEnergy {
         let p = self.energy_model.active_power;
         PhaseEnergy {
-            positioning_j: p * b.positioning,
+            positioning_j: p * (b.positioning + b.fault_recovery),
             transfer_j: p * b.transfer,
             overhead_j: p * b.overhead,
         }

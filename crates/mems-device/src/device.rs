@@ -404,14 +404,16 @@ impl StorageDevice for MemsDevice {
 
     /// Splits [`MemsEnergyModel::request_energy`] across the request's
     /// phases: the sled draws actuation power whenever it moves
-    /// (positioning and transfer), the tips draw sensing power only over
-    /// media time (turnarounds excluded), and the electronics baseline
-    /// runs throughout. The three parts sum to exactly the model's total.
+    /// (positioning, fault-recovery repositioning, and transfer), the tips
+    /// draw sensing power only over media time (turnarounds excluded), and
+    /// the electronics baseline runs throughout. The three parts sum to
+    /// exactly the model's total.
     fn phase_energy(&self, b: &ServiceBreakdown) -> PhaseEnergy {
         let m = &self.energy_model;
         let tips = f64::from(self.params.active_tips);
         PhaseEnergy {
-            positioning_j: (m.sled_power + m.active_base_power) * b.positioning,
+            positioning_j: (m.sled_power + m.active_base_power)
+                * (b.positioning + b.fault_recovery),
             transfer_j: tips * m.tip_power * (b.transfer - b.turnaround)
                 + (m.sled_power + m.active_base_power) * b.transfer,
             overhead_j: m.active_base_power * b.overhead,

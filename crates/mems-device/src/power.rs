@@ -62,9 +62,11 @@ impl MemsEnergyModel {
     /// Energy in joules consumed servicing a request with `active_tips`
     /// tips: tips draw power while media transfers (excluding turnaround
     /// portions), the sled while moving, and the baseline throughout.
+    /// Fault-recovery time (retries, remaps, reconstruction seeks) keeps
+    /// the sled in motion, so it bills at sled + baseline power.
     pub fn request_energy(&self, b: &ServiceBreakdown, active_tips: u32) -> f64 {
         let sensing_time = b.transfer - b.turnaround;
-        let motion_time = b.positioning + b.transfer;
+        let motion_time = b.positioning + b.fault_recovery + b.transfer;
         f64::from(active_tips) * self.tip_power * sensing_time
             + self.sled_power * motion_time
             + self.active_base_power * b.total()

@@ -7,6 +7,7 @@
 //! estimates (SPTF, §4.1) use [`StorageDevice::position_time`], which must
 //! not mutate state.
 
+use crate::fault::FaultKind;
 use crate::request::Request;
 use crate::time::SimTime;
 
@@ -36,12 +37,16 @@ pub struct ServiceBreakdown {
     pub turnaround_count: u32,
     /// Fixed controller/bus overhead.
     pub overhead: f64,
+    /// Online failure-recovery time billed to this request: transient
+    /// seek-error retries (penalty plus backoff), one-time remap charges,
+    /// and reconstruction-read overhead. Zero on a healthy device.
+    pub fault_recovery: f64,
 }
 
 impl ServiceBreakdown {
     /// Total service time in seconds.
     pub fn total(&self) -> f64 {
-        self.positioning + self.transfer + self.overhead
+        self.positioning + self.transfer + self.overhead + self.fault_recovery
     }
 
     /// Total service time as a [`SimTime`].
@@ -60,6 +65,7 @@ impl ServiceBreakdown {
         self.turnaround += other.turnaround;
         self.turnaround_count += other.turnaround_count;
         self.overhead += other.overhead;
+        self.fault_recovery += other.fault_recovery;
     }
 }
 
@@ -165,6 +171,16 @@ pub trait StorageDevice {
     fn phase_energy(&self, breakdown: &ServiceBreakdown) -> PhaseEnergy {
         let _ = breakdown;
         PhaseEnergy::default()
+    }
+
+    /// Delivers a scheduled fault event to the device at `now`. The
+    /// default ignores faults — a bare device is fault-oblivious; wrappers
+    /// like `DegradedDevice` override this to transition their fault state
+    /// online (remap a spare tip, arm a transient error, grow a defect).
+    /// Faults never interrupt an in-flight request: state changes apply
+    /// from the next [`StorageDevice::service`] call onward.
+    fn on_fault(&mut self, fault: &FaultKind, now: SimTime) {
+        let _ = (fault, now);
     }
 }
 

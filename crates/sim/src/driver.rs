@@ -9,6 +9,7 @@
 
 use crate::device::{ServiceBreakdown, StorageDevice};
 use crate::event::EventQueue;
+use crate::fault::{FaultClock, FaultKind};
 use crate::request::{Completion, Request};
 use crate::sched::{SchedCounters, Scheduler};
 use crate::stats::{ResponseStats, Welford};
@@ -37,6 +38,8 @@ pub struct SimReport {
     pub mean_queue_depth: f64,
     /// Largest queue depth observed.
     pub max_queue_depth: usize,
+    /// Fault events delivered to the device during the run.
+    pub fault_events: u64,
     /// Every completion, in completion order (only if recording was enabled).
     pub completions: Option<Vec<Completion>>,
 }
@@ -61,6 +64,7 @@ impl SimReport {
 enum Ev {
     Arrival(Request),
     Complete(Completion),
+    Fault(FaultKind),
 }
 
 /// Couples a [`Workload`], a [`Scheduler`], and a [`StorageDevice`] and
@@ -95,6 +99,7 @@ pub struct Driver<W, S, D, T = NoopTracer> {
     scheduler: S,
     device: D,
     tracer: T,
+    faults: FaultClock,
     warmup_requests: u64,
     record_completions: bool,
 }
@@ -108,6 +113,7 @@ impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D, NoopTracer> {
             scheduler,
             device,
             tracer: NoopTracer,
+            faults: FaultClock::empty(),
             warmup_requests: 0,
             record_completions: false,
         }
@@ -124,9 +130,19 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
             scheduler: self.scheduler,
             device: self.device,
             tracer,
+            faults: self.faults,
             warmup_requests: self.warmup_requests,
             record_completions: self.record_completions,
         }
+    }
+
+    /// Attaches a schedule of fault events. Each fault is delivered to the
+    /// device via [`StorageDevice::on_fault`] as a first-class simulation
+    /// event at its scheduled time; an empty clock (the default) schedules
+    /// nothing, leaving the fault-free event sequence bit-identical.
+    pub fn with_faults(mut self, faults: FaultClock) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Excludes the first `n` completed requests from the statistics.
@@ -172,6 +188,7 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
             busy_secs: 0.0,
             mean_queue_depth: 0.0,
             max_queue_depth: 0,
+            fault_events: 0,
             completions: if self.record_completions {
                 Some(Vec::new())
             } else {
@@ -187,6 +204,14 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
             }
             None => return report,
         };
+
+        // Faults enter the heap one at a time (the clock is already time-
+        // ordered); each delivery schedules its successor, exactly like the
+        // workload's arrival chain. An empty clock pushes nothing, so the
+        // fault-free event sequence is untouched.
+        if let Some(fault) = self.faults.pop() {
+            events.push(fault.at, Ev::Fault(fault.kind));
+        }
 
         let mut device_busy = false;
         let mut completed_total: u64 = 0;
@@ -238,6 +263,18 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
                         all.push(completion);
                     }
                     device_busy = self.start_next(now, &mut events, &mut report);
+                }
+                Ev::Fault(kind) => {
+                    // Faults never preempt: the device absorbs the state
+                    // change now and applies it from its next service call.
+                    self.device.on_fault(&kind, now);
+                    report.fault_events += 1;
+                    if T::ENABLED {
+                        self.tracer.on_fault(&kind, now);
+                    }
+                    if let Some(next) = self.faults.pop() {
+                        events.push(next.at, Ev::Fault(next.kind));
+                    }
                 }
             }
         }
@@ -398,6 +435,100 @@ mod tests {
         assert_eq!(t.counters().arrivals, 3);
         assert_eq!(t.counters().picks, 3);
         assert_eq!(t.counters().completions, 3);
+    }
+
+    #[test]
+    fn faults_are_delivered_in_order_and_counted() {
+        use crate::fault::{FaultClock, FaultEvent};
+
+        /// Constant device that logs every fault delivered to it.
+        struct Probe {
+            inner: ConstantDevice,
+            seen: Vec<(f64, FaultKind)>,
+        }
+        impl StorageDevice for Probe {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+            fn capacity_lbns(&self) -> u64 {
+                self.inner.capacity_lbns()
+            }
+            fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown {
+                self.inner.service(req, now)
+            }
+            fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+                self.inner.position_time(req, now)
+            }
+            fn reset(&mut self) {
+                self.inner.reset();
+            }
+            fn on_fault(&mut self, fault: &FaultKind, now: SimTime) {
+                self.seen.push((now.as_secs(), *fault));
+            }
+        }
+
+        let reqs = vec![req(0, 0.0, 0), req(1, 5.0, 8)];
+        let clock = FaultClock::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_ms(4.0),
+                kind: FaultKind::TransientSeekError,
+            },
+            FaultEvent {
+                at: SimTime::from_ms(2.0),
+                kind: FaultKind::TipFailure { tip: 3 },
+            },
+        ]);
+        let mut d = Driver::new(
+            VecWorkload::new(reqs),
+            FifoScheduler::new(),
+            Probe {
+                inner: ConstantDevice::new(100, 1e-3),
+                seen: Vec::new(),
+            },
+        )
+        .with_faults(clock);
+        let r = d.run();
+        assert_eq!(r.fault_events, 2);
+        assert_eq!(r.completed, 2);
+        let seen = &d.device().seen;
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (2.0e-3, FaultKind::TipFailure { tip: 3 }));
+        assert_eq!(seen[1], (4.0e-3, FaultKind::TransientSeekError));
+    }
+
+    #[test]
+    fn empty_fault_clock_is_bit_identical_to_no_clock() {
+        let reqs = vec![req(0, 0.0, 0), req(1, 0.5, 8), req(2, 0.6, 16)];
+        let plain = Driver::new(
+            VecWorkload::new(reqs.clone()),
+            FifoScheduler::new(),
+            ConstantDevice::new(100, 1e-3),
+        )
+        .record_completions(true)
+        .run();
+        let clocked = Driver::new(
+            VecWorkload::new(reqs),
+            FifoScheduler::new(),
+            ConstantDevice::new(100, 1e-3),
+        )
+        .with_faults(crate::fault::FaultClock::empty())
+        .record_completions(true)
+        .run();
+        assert_eq!(plain.fault_events, 0);
+        assert_eq!(clocked.fault_events, 0);
+        assert_eq!(plain.makespan, clocked.makespan);
+        assert_eq!(plain.response.mean(), clocked.response.mean());
+        assert_eq!(plain.busy_secs, clocked.busy_secs);
+        let (a, b) = (
+            plain.completions.as_ref().unwrap(),
+            clocked.completions.as_ref().unwrap(),
+        );
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.request.id, y.request.id);
+            assert_eq!(x.start_service, y.start_service);
+            assert_eq!(x.completion, y.completion);
+        }
     }
 
     #[test]

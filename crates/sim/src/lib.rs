@@ -41,6 +41,7 @@ pub mod closed;
 pub mod device;
 pub mod driver;
 pub mod event;
+pub mod fault;
 pub mod request;
 pub mod rng;
 pub mod sched;
@@ -53,6 +54,7 @@ pub use closed::{closed_loop, ClosedReport, RequestSource};
 pub use device::{ConstantDevice, PhaseEnergy, PowerState, ServiceBreakdown, StorageDevice};
 pub use driver::{Driver, SimReport};
 pub use event::{Event, EventQueue};
+pub use fault::{FaultClock, FaultEvent, FaultKind};
 pub use request::{Completion, IoKind, Request, RequestId};
 pub use sched::{FifoScheduler, SchedCounters, Scheduler};
 pub use stats::{Histogram, ResponseStats, Welford};

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use crate::device::{PhaseEnergy, ServiceBreakdown};
+use crate::fault::FaultKind;
 use crate::request::{Completion, IoKind, Request};
 use crate::time::SimTime;
 
@@ -69,6 +70,11 @@ pub trait Tracer {
     /// by the driver at every simulation event).
     fn on_queue_depth(&mut self, now: SimTime, depth: usize) {
         let _ = (now, depth);
+    }
+
+    /// A scheduled fault event was delivered to the device at `now`.
+    fn on_fault(&mut self, fault: &FaultKind, now: SimTime) {
+        let _ = (fault, now);
     }
 }
 
@@ -144,6 +150,8 @@ pub enum TraceEvent {
         turnaround_count: u32,
         /// Fixed overhead, seconds.
         overhead: f64,
+        /// Online failure-recovery time billed to the request, seconds.
+        fault_recovery: f64,
         /// Energy attributed to positioning, joules.
         energy_positioning_j: f64,
         /// Energy attributed to media transfer, joules.
@@ -163,6 +171,13 @@ pub enum TraceEvent {
         service: f64,
         /// Response time (queue + service), seconds.
         response: f64,
+    },
+    /// A scheduled fault event was delivered to the device.
+    Fault {
+        /// Delivery time, seconds.
+        t: f64,
+        /// The fault delivered.
+        kind: FaultKind,
     },
 }
 
@@ -213,6 +228,7 @@ impl TraceEvent {
                 turnaround,
                 turnaround_count,
                 overhead,
+                fault_recovery,
                 energy_positioning_j,
                 energy_transfer_j,
                 energy_overhead_j,
@@ -225,6 +241,7 @@ impl TraceEvent {
                      \"seek_y\":{seek_y:.12},\"rotation\":{rotation:.12},\
                      \"transfer\":{transfer:.12},\"turnaround\":{turnaround:.12},\
                      \"turnaround_count\":{turnaround_count},\"overhead\":{overhead:.12},\
+                     \"fault_recovery\":{fault_recovery:.12},\
                      \"energy_positioning_j\":{energy_positioning_j:.12},\
                      \"energy_transfer_j\":{energy_transfer_j:.12},\
                      \"energy_overhead_j\":{energy_overhead_j:.12}}}"
@@ -242,6 +259,30 @@ impl TraceEvent {
                     "{{\"ev\":\"complete\",\"id\":{id},\"t\":{t:.9},\"queue\":{queue:.12},\
                      \"service\":{service:.12},\"response\":{response:.12}}}"
                 );
+            }
+            TraceEvent::Fault { t, kind } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"fault\",\"t\":{t:.9},\"kind\":\"{}\"",
+                    kind.label()
+                );
+                match kind {
+                    FaultKind::TipFailure { tip } => {
+                        let _ = write!(s, ",\"tip\":{tip}");
+                    }
+                    FaultKind::MediaDefect {
+                        tip,
+                        row_start,
+                        row_end,
+                    } => {
+                        let _ = write!(
+                            s,
+                            ",\"tip\":{tip},\"row_start\":{row_start},\"row_end\":{row_end}"
+                        );
+                    }
+                    FaultKind::TransientSeekError => {}
+                }
+                s.push('}');
             }
         }
         s
@@ -261,6 +302,8 @@ pub struct TraceCounters {
     pub candidates_examined: u64,
     /// Sum of queue depth at each pick (for candidates-vs-depth ratios).
     pub pick_depth_sum: u64,
+    /// Fault events delivered to the device.
+    pub faults: u64,
     /// Events evicted from the ring because it was full.
     pub dropped_events: u64,
 }
@@ -504,6 +547,7 @@ impl Tracer for RingTracer {
             turnaround: b.turnaround,
             turnaround_count: b.turnaround_count,
             overhead: b.overhead,
+            fault_recovery: b.fault_recovery,
             energy_positioning_j: energy.positioning_j,
             energy_transfer_j: energy.transfer_j,
             energy_overhead_j: energy.overhead_j,
@@ -527,6 +571,14 @@ impl Tracer for RingTracer {
             self.depth_series.pop_front();
         }
         self.depth_series.push_back((now.as_secs(), depth));
+    }
+
+    fn on_fault(&mut self, fault: &FaultKind, now: SimTime) {
+        self.counters.faults += 1;
+        self.push_event(TraceEvent::Fault {
+            t: now.as_secs(),
+            kind: *fault,
+        });
     }
 }
 
@@ -575,6 +627,7 @@ mod tests {
                 TraceEvent::Pick { .. } => "pick",
                 TraceEvent::Service { .. } => "service",
                 TraceEvent::Complete { .. } => "complete",
+                TraceEvent::Fault { .. } => "fault",
             })
             .collect();
         assert_eq!(kinds, ["arrival", "pick", "service", "complete"]);
