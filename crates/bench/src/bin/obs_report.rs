@@ -245,14 +245,18 @@ fn main() -> ExitCode {
     );
     println!("replay worst err   {replay_worst:8.2e} s vs closed-form kinematics");
 
-    // Raw exports (untracked; for ad-hoc analysis).
+    // Raw exports (untracked; for ad-hoc analysis). The summary carries
+    // the device's seek-cache counters so cache effectiveness is visible
+    // per run, not only in unit tests.
     let _ = std::fs::create_dir_all("target");
     let jsonl = std::path::Path::new("target").join("obs_trace.jsonl");
     let summary = std::path::Path::new("target").join("obs_summary.json");
     if std::fs::write(&jsonl, trace.to_jsonl()).is_ok() {
         println!("wrote {}", jsonl.display());
     }
-    if std::fs::write(&summary, trace.summary_json()).is_ok() {
+    let mut summary_trace = trace.clone();
+    summary_trace.set_cache_stats(stats.hits, stats.misses);
+    if std::fs::write(&summary, summary_trace.summary_json()).is_ok() {
         println!("wrote {}", summary.display());
     }
 

@@ -1,0 +1,310 @@
+//! Telemetry report: windowed time-series metrics and spatial media
+//! heatmaps for three representative cells, plus a wall-clock self-profile
+//! of the simulator.
+//!
+//! Cells:
+//!
+//! 1. `mems_sptf` — the Fig. 6 SPTF/MEMS random cell (1000 req/s, seed
+//!    `0x5EED_0006`): the healthy-device timeline and media heatmap.
+//! 2. `mems_fault_ramp` — the same device behind `DegradedDevice` while 6%
+//!    of tips fail in the first half second: the timeline shows the
+//!    fault_recovery utilization and fault-rate ramp of §6.
+//! 3. `disk_clook` — C-LOOK on the Atlas 10K baseline (100 req/s): the
+//!    per-zone heatmap counterpart.
+//!
+//! Outputs `results/telemetry_timeline.csv` and
+//! `results/telemetry_heatmap.csv` — both purely sim-time derived, so they
+//! are committed goldens byte-gated by the CI `figures` job — plus
+//! `target/telemetry_profile.json`, which contains *wall-clock* numbers
+//! (events/sec, per-component shares, seek-cache hit rate) and is
+//! therefore untracked and informational only.
+//!
+//! Two gates make the bin a regression check (exit non-zero on failure):
+//! the telemetry window totals must reconcile with the driver's report,
+//! and the heatmaps must reconcile exactly with the serviced request
+//! stream (Σ region accesses == Σ stripes touched, Σ tip-group sectors ==
+//! Σ request sectors). The profiled rerun must also reproduce the
+//! telemetry run's simulated results bit for bit — wall-clock probes must
+//! never perturb the simulation.
+
+use std::process::ExitCode;
+
+use atlas_disk::{DiskDevice, DiskParams, ZoneHeatmap};
+use mems_bench::write_csv;
+use mems_device::{MediaHeatmap, MemsDevice, MemsParams};
+use mems_os::fault::DegradedDevice;
+use mems_os::sched::{ClookScheduler, SptfScheduler};
+use storage_sim::{
+    Driver, FaultClock, Profiler, RingTracer, SimReport, SimTime, Telemetry, TraceEvent, TracerPair,
+};
+use storage_trace::RandomWorkload;
+
+const MEMS_SEED: u64 = 0x5EED_0006;
+const MEMS_RATE: f64 = 1000.0;
+const MEMS_REQUESTS: u64 = 2_000;
+const FAULT_SEED: u64 = 0x5EED_0063;
+const FAULT_WORKLOAD_SEED: u64 = 42;
+const FAILED_TIP_FRAC: f64 = 0.06;
+const FAIL_WINDOW_S: f64 = 0.5;
+const DISK_SEED: u64 = 0x5EED_0005;
+const DISK_RATE: f64 = 100.0;
+const DISK_REQUESTS: u64 = 600;
+/// Telemetry window width, seconds: 100 ms buckets over the ~2 s cells.
+const WINDOW_S: f64 = 0.1;
+const MAX_WINDOWS: usize = 256;
+/// MEMS region grid: 10 cylinder buckets × 9 row buckets.
+const GRID_X: usize = 10;
+const GRID_Y: usize = 9;
+
+fn mems_workload(seed: u64) -> RandomWorkload {
+    let capacity = MemsParams::default().geometry().total_sectors();
+    RandomWorkload::paper(capacity, MEMS_RATE, MEMS_REQUESTS, seed)
+}
+
+type Recorder = TracerPair<RingTracer, Telemetry>;
+
+fn recorder(requests: u64) -> Recorder {
+    let ring = usize::try_from(requests).expect("request count fits usize") * 4 + 64;
+    TracerPair::new(RingTracer::new(ring), Telemetry::new(WINDOW_S, MAX_WINDOWS))
+}
+
+/// Replays the ring's `Service` events into a MEMS heatmap.
+fn mems_heatmap(ring: &RingTracer) -> MediaHeatmap {
+    MediaHeatmap::from_services(
+        &MemsParams::default(),
+        GRID_X,
+        GRID_Y,
+        ring.events().filter_map(|ev| match *ev {
+            TraceEvent::Service {
+                lbn,
+                sectors,
+                energy_positioning_j,
+                energy_transfer_j,
+                energy_overhead_j,
+                ..
+            } => Some((
+                lbn,
+                sectors,
+                energy_positioning_j + energy_transfer_j + energy_overhead_j,
+            )),
+            _ => None,
+        }),
+    )
+}
+
+fn check(ok: bool, failures: &mut u64, what: &str) {
+    if !ok {
+        eprintln!("FAIL: {what}");
+        *failures += 1;
+    }
+}
+
+/// Telemetry window totals must reconcile with the driver's own report.
+fn check_timeline(cell: &str, tel: &Telemetry, report: &SimReport, failures: &mut u64) {
+    let completions: u64 = tel.windows().iter().map(|w| w.completions).sum();
+    let arrivals: u64 = tel.windows().iter().map(|w| w.arrivals).sum();
+    let faults: u64 = tel.windows().iter().map(|w| w.faults).sum();
+    check(
+        completions == report.completed,
+        failures,
+        &format!(
+            "{cell}: telemetry completions {completions} != report {}",
+            report.completed
+        ),
+    );
+    check(
+        arrivals == report.completed,
+        failures,
+        &format!(
+            "{cell}: telemetry arrivals {arrivals} != {}",
+            report.completed
+        ),
+    );
+    check(
+        faults == report.fault_events,
+        failures,
+        &format!(
+            "{cell}: telemetry faults {faults} != report {}",
+            report.fault_events
+        ),
+    );
+    let busy: f64 = tel.windows().iter().map(|w| w.phase.total()).sum();
+    check(
+        (busy - report.busy_secs).abs() < 1e-9,
+        failures,
+        &format!(
+            "{cell}: telemetry phase total {busy} != busy {}",
+            report.busy_secs
+        ),
+    );
+}
+
+fn main() -> ExitCode {
+    let mut failures = 0u64;
+    let mut timeline = String::from(Telemetry::csv_header());
+    timeline.push('\n');
+    let mut heatmap_csv = String::from("cell,kind,i,j,accesses,sectors,dwell_s,energy_j\n");
+
+    // Cell 1: healthy SPTF/MEMS (the Fig. 6 anchor cell).
+    let mut driver = Driver::new(
+        mems_workload(MEMS_SEED),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    )
+    .with_tracer(recorder(MEMS_REQUESTS));
+    let sptf_report = driver.run();
+    let pair = driver.tracer();
+    check_timeline("mems_sptf", &pair.second, &sptf_report, &mut failures);
+    timeline.push_str(&pair.second.csv_rows("mems_sptf"));
+
+    let map = mems_heatmap(&pair.first);
+    check(
+        map.region_access_total() == map.total_stripes(),
+        &mut failures,
+        "mems_sptf: region accesses do not reconcile with stripes",
+    );
+    check(
+        map.tip_sector_total() == map.total_sectors(),
+        &mut failures,
+        "mems_sptf: tip-group sectors do not reconcile with request sectors",
+    );
+    check(
+        map.requests() == sptf_report.completed,
+        &mut failures,
+        "mems_sptf: heatmap requests != completions",
+    );
+    heatmap_csv.push_str(&map.csv_rows("mems_sptf"));
+    println!(
+        "mems_sptf:       {} windows ({} coarsenings), {} stripes over {} requests",
+        pair.second.windows().len(),
+        pair.second.coarsenings(),
+        map.total_stripes(),
+        map.requests()
+    );
+
+    // Cell 2: 6% of tips fail in the first 0.5 s behind DegradedDevice.
+    let tips = MemsParams::default().tips;
+    let n_failed = (FAILED_TIP_FRAC * f64::from(tips)).round() as usize;
+    let clock = FaultClock::tip_failures(
+        FAULT_SEED,
+        n_failed,
+        tips,
+        SimTime::from_secs(FAIL_WINDOW_S),
+    );
+    let device =
+        DegradedDevice::mems(MemsDevice::new(MemsParams::default()), FAULT_SEED).with_spare_tips(8);
+    let mut driver = Driver::new(
+        mems_workload(FAULT_WORKLOAD_SEED),
+        SptfScheduler::new(),
+        device,
+    )
+    .with_faults(clock)
+    .with_tracer(recorder(MEMS_REQUESTS));
+    let ramp_report = driver.run();
+    let pair = driver.tracer();
+    check_timeline("mems_fault_ramp", &pair.second, &ramp_report, &mut failures);
+    check(
+        ramp_report.fault_events == n_failed as u64,
+        &mut failures,
+        "mems_fault_ramp: not every scheduled tip failure was delivered",
+    );
+    let recovery: f64 = pair
+        .second
+        .windows()
+        .iter()
+        .map(|w| w.phase.fault_recovery)
+        .sum();
+    check(
+        recovery > 0.0,
+        &mut failures,
+        "mems_fault_ramp: no fault_recovery time in any window",
+    );
+    timeline.push_str(&pair.second.csv_rows("mems_fault_ramp"));
+    println!(
+        "mems_fault_ramp: {} tip failures, {:.1} ms recovery billed, {} windows",
+        ramp_report.fault_events,
+        recovery * 1e3,
+        pair.second.windows().len()
+    );
+
+    // Cell 3: C-LOOK on the Atlas 10K baseline, for the zone heatmap.
+    let params = DiskParams::quantum_atlas_10k();
+    let capacity = params.total_sectors();
+    let mut driver = Driver::new(
+        RandomWorkload::paper(capacity, DISK_RATE, DISK_REQUESTS, DISK_SEED),
+        ClookScheduler::new(),
+        DiskDevice::new(params.clone()),
+    )
+    .with_tracer(recorder(DISK_REQUESTS));
+    let disk_report = driver.run();
+    let pair = driver.tracer();
+    check_timeline("disk_clook", &pair.second, &disk_report, &mut failures);
+    timeline.push_str(&pair.second.csv_rows("disk_clook"));
+
+    let mut zones = ZoneHeatmap::new(&params);
+    for ev in pair.first.events() {
+        if let TraceEvent::Service { lbn, sectors, .. } = *ev {
+            zones.record(lbn, sectors);
+        }
+    }
+    check(
+        zones.requests() == disk_report.completed,
+        &mut failures,
+        "disk_clook: heatmap requests != completions",
+    );
+    check(
+        zones.zone_sector_total() == zones.total_sectors(),
+        &mut failures,
+        "disk_clook: zone sectors do not reconcile",
+    );
+    heatmap_csv.push_str(&zones.csv_rows("disk_clook"));
+    println!(
+        "disk_clook:      {} requests over {} zones",
+        zones.requests(),
+        zones.zones()
+    );
+
+    write_csv("telemetry_timeline.csv", &timeline);
+    write_csv("telemetry_heatmap.csv", &heatmap_csv);
+
+    // Self-profile: rerun the SPTF cell under the wall-clock profiler. The
+    // simulated results must be bit-identical — the probes read the host
+    // clock but never feed back into the simulation.
+    let mut driver = Driver::new(
+        mems_workload(MEMS_SEED),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    )
+    .with_tracer(Profiler::new());
+    let prof_report = driver.run();
+    check(
+        prof_report.response.mean() == sptf_report.response.mean()
+            && prof_report.makespan == sptf_report.makespan
+            && prof_report.busy_secs == sptf_report.busy_secs,
+        &mut failures,
+        "profiled rerun diverged from the telemetry run",
+    );
+    let stats = driver.device().seek_table_stats();
+    let prof = driver.tracer();
+    let json = prof.profile_json(Some((stats.hits, stats.misses)));
+    let _ = std::fs::create_dir_all("target");
+    let path = std::path::Path::new("target").join("telemetry_profile.json");
+    if std::fs::write(&path, &json).is_ok() {
+        println!("wrote {} (wall-clock, informational)", path.display());
+    }
+    println!(
+        "self-profile:    {:.0} events/s wall; sched_pick {:.1}%, device_service {:.1}% of wall",
+        prof.events_per_sec(),
+        100.0 * prof.scope(storage_sim::ProfScope::SchedPick).seconds()
+            / (prof.run_nanos() as f64 * 1e-9),
+        100.0 * prof.scope(storage_sim::ProfScope::DeviceService).seconds()
+            / (prof.run_nanos() as f64 * 1e-9),
+    );
+
+    if failures > 0 {
+        eprintln!("\ntelemetry_report: {failures} check(s) FAILED");
+        return ExitCode::FAILURE;
+    }
+    println!("\nall telemetry reconciliation and bit-identity checks passed");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,191 @@
+//! Per-zone access heatmap for the disk baseline.
+//!
+//! The disk-side counterpart of `mems_device`'s media heatmap: buckets
+//! serviced requests by the zone(s) their LBN range touches, so the §5
+//! locality comparisons have a spatial view on both devices. A request
+//! spanning a zone boundary counts once per zone it overlaps, with the
+//! sector split attributed exactly — so the sector total reconciles with
+//! the workload's sector total by construction.
+
+use crate::params::DiskParams;
+
+/// Deterministic per-zone access accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_disk::{DiskParams, ZoneHeatmap};
+///
+/// let params = DiskParams::quantum_atlas_10k();
+/// let mut map = ZoneHeatmap::new(&params);
+/// map.record(0, 64);
+/// assert_eq!(map.zone_accesses(0), 1);
+/// assert_eq!(map.total_sectors(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneHeatmap {
+    /// `(first_lbn, sector_count)` per zone, ascending.
+    bounds: Vec<(u64, u64)>,
+    zone_accesses: Vec<u64>,
+    zone_sectors: Vec<u64>,
+    requests: u64,
+    sectors: u64,
+}
+
+impl ZoneHeatmap {
+    /// Creates an empty heatmap over the parameter set's zones.
+    pub fn new(params: &DiskParams) -> Self {
+        let bounds: Vec<(u64, u64)> = params
+            .zones
+            .iter()
+            .map(|z| (z.first_lbn, z.sectors(params.heads)))
+            .collect();
+        let n = bounds.len();
+        ZoneHeatmap {
+            bounds,
+            zone_accesses: vec![0; n],
+            zone_sectors: vec![0; n],
+            requests: 0,
+            sectors: 0,
+        }
+    }
+
+    /// Accumulates one serviced request. Each zone the LBN range overlaps
+    /// gains one access and its exact sector share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is empty or runs beyond the device capacity.
+    pub fn record(&mut self, lbn: u64, sectors: u32) {
+        assert!(sectors > 0, "empty request");
+        let end = lbn + u64::from(sectors);
+        let capacity = self
+            .bounds
+            .last()
+            .map(|(first, count)| first + count)
+            .unwrap_or(0);
+        assert!(end <= capacity, "request beyond capacity");
+        self.requests += 1;
+        self.sectors += u64::from(sectors);
+        for (i, &(first, count)) in self.bounds.iter().enumerate() {
+            let overlap = end.min(first + count).saturating_sub(lbn.max(first));
+            if overlap > 0 {
+                self.zone_accesses[i] += 1;
+                self.zone_sectors[i] += overlap;
+            }
+        }
+    }
+
+    /// Number of zones.
+    pub fn zones(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Requests that touched zone `i`.
+    pub fn zone_accesses(&self, i: usize) -> u64 {
+        self.zone_accesses[i]
+    }
+
+    /// Sectors transferred in zone `i`.
+    pub fn zone_sectors(&self, i: usize) -> u64 {
+        self.zone_sectors[i]
+    }
+
+    /// Requests recorded.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total sectors recorded — equals the per-zone sector total.
+    pub fn total_sectors(&self) -> u64 {
+        self.sectors
+    }
+
+    /// Sum of per-zone sector counts (for reconciliation).
+    pub fn zone_sector_total(&self) -> u64 {
+        self.zone_sectors.iter().sum()
+    }
+
+    /// The heatmap as CSV rows under the shared
+    /// `cell,kind,i,j,accesses,sectors,dwell_s,energy_j` schema:
+    /// one `disk_zone` row per zone (i = zone index, j = 0). Deterministic.
+    pub fn csv_rows(&self, cell: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.bounds.len() * 40);
+        for i in 0..self.bounds.len() {
+            let _ = writeln!(
+                out,
+                "{cell},disk_zone,{i},0,{},{},0.000000,0.000000",
+                self.zone_accesses[i], self.zone_sectors[i],
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ZoneHeatmap {
+        ZoneHeatmap::new(&DiskParams::quantum_atlas_10k())
+    }
+
+    #[test]
+    fn requests_land_in_their_zone() {
+        let params = DiskParams::quantum_atlas_10k();
+        let mut m = map();
+        // First sector of the second zone.
+        let z1_first = params.zones[1].first_lbn;
+        m.record(z1_first, 16);
+        assert_eq!(m.zone_accesses(0), 0);
+        assert_eq!(m.zone_accesses(1), 1);
+        assert_eq!(m.zone_sectors(1), 16);
+    }
+
+    #[test]
+    fn boundary_spanning_request_splits_exactly() {
+        let params = DiskParams::quantum_atlas_10k();
+        let mut m = map();
+        let z1_first = params.zones[1].first_lbn;
+        m.record(z1_first - 10, 30);
+        assert_eq!(m.zone_accesses(0), 1);
+        assert_eq!(m.zone_accesses(1), 1);
+        assert_eq!(m.zone_sectors(0), 10);
+        assert_eq!(m.zone_sectors(1), 20);
+        assert_eq!(m.zone_sector_total(), m.total_sectors());
+    }
+
+    #[test]
+    fn totals_reconcile_over_a_sweep() {
+        let params = DiskParams::quantum_atlas_10k();
+        let mut m = map();
+        let cap = params.total_sectors();
+        let mut lbn = 0u64;
+        let mut n = 0u64;
+        while lbn + 64 <= cap {
+            m.record(lbn, 64);
+            lbn += cap / 97; // irregular stride across every zone
+            n += 1;
+        }
+        assert_eq!(m.requests(), n);
+        assert_eq!(m.zone_sector_total(), m.total_sectors());
+        assert!((0..m.zones()).all(|i| m.zone_accesses(i) > 0));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_zone() {
+        let m = map();
+        let rows = m.csv_rows("d");
+        assert_eq!(rows.lines().count(), m.zones());
+        assert!(rows.starts_with("d,disk_zone,0,0,0,0,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn oversized_request_rejected() {
+        let params = DiskParams::quantum_atlas_10k();
+        let mut m = ZoneHeatmap::new(&params);
+        m.record(params.total_sectors() - 1, 2);
+    }
+}

@@ -29,12 +29,14 @@
 
 pub mod device;
 pub mod geometry;
+pub mod heatmap;
 pub mod params;
 pub mod power;
 pub mod seek;
 
 pub use device::DiskDevice;
 pub use geometry::{DiskAddr, DiskMapper};
+pub use heatmap::ZoneHeatmap;
 pub use params::{DiskParams, Zone};
 pub use power::DiskEnergyModel;
 pub use seek::SeekCurve;

@@ -37,6 +37,7 @@
 
 pub mod device;
 pub mod geometry;
+pub mod heatmap;
 pub mod kinematics;
 pub mod params;
 pub mod power;
@@ -44,6 +45,7 @@ pub mod seek_table;
 
 pub use device::{MemsDevice, SledState};
 pub use geometry::{Mapper, PhysAddr, Segment};
+pub use heatmap::MediaHeatmap;
 pub use kinematics::SpringSled;
 pub use params::{MemsGeometry, MemsParams};
 pub use power::MemsEnergyModel;

@@ -7,9 +7,12 @@
 //! SPTF's positioning-time oracle gets consulted). One device, one
 //! outstanding request — the configuration used throughout the paper.
 
+use std::time::Instant;
+
 use crate::device::{ServiceBreakdown, StorageDevice};
 use crate::event::EventQueue;
 use crate::fault::{FaultClock, FaultKind};
+use crate::profile::ProfScope;
 use crate::request::{Completion, Request};
 use crate::sched::{SchedCounters, Scheduler};
 use crate::stats::{ResponseStats, Welford};
@@ -217,9 +220,21 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
         let mut completed_total: u64 = 0;
         let mut depth_integral = 0.0; // ∫ queue_depth dt
         let mut last_event_time = SimTime::ZERO;
+        // Wall-clock self-profiling: reads the host clock but never feeds
+        // anything back into the simulation, so simulated results are
+        // identical with or without it.
+        let run_start = if T::PROFILE {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let mut event_count: u64 = 0;
 
         while let Some(event) = events.pop() {
             let now = event.at;
+            if T::PROFILE {
+                event_count += 1;
+            }
             depth_integral += self.scheduler.len() as f64 * (now - last_event_time).as_secs();
             last_event_time = now;
             if T::ENABLED {
@@ -267,7 +282,16 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
                 Ev::Fault(kind) => {
                     // Faults never preempt: the device absorbs the state
                     // change now and applies it from its next service call.
+                    let t0 = if T::PROFILE {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
                     self.device.on_fault(&kind, now);
+                    if let Some(t0) = t0 {
+                        self.tracer
+                            .on_scope(ProfScope::FaultDelivery, t0.elapsed().as_nanos() as u64);
+                    }
                     report.fault_events += 1;
                     if T::ENABLED {
                         self.tracer.on_fault(&kind, now);
@@ -277,6 +301,11 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
                     }
                 }
             }
+        }
+
+        if let Some(run_start) = run_start {
+            self.tracer
+                .on_run_wall(event_count, run_start.elapsed().as_nanos() as u64);
         }
 
         let span = report.makespan.as_secs();
@@ -302,7 +331,17 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
         } else {
             SchedCounters::default()
         };
-        match self.scheduler.pick(&self.device, now) {
+        let pick_t0 = if T::PROFILE {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let picked = self.scheduler.pick(&self.device, now);
+        if let Some(t0) = pick_t0 {
+            self.tracer
+                .on_scope(ProfScope::SchedPick, t0.elapsed().as_nanos() as u64);
+        }
+        match picked {
             Some(req) => {
                 if T::ENABLED {
                     let examined = self
@@ -312,7 +351,16 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
                         .saturating_sub(counters_before.candidates_examined);
                     self.tracer.on_pick(&req, now, depth_before, examined);
                 }
+                let svc_t0 = if T::PROFILE {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
                 let breakdown = self.device.service(&req, now);
+                if let Some(t0) = svc_t0 {
+                    self.tracer
+                        .on_scope(ProfScope::DeviceService, t0.elapsed().as_nanos() as u64);
+                }
                 if T::ENABLED {
                     let energy = self.device.phase_energy(&breakdown);
                     self.tracer.on_service(&req, now, &breakdown, &energy);

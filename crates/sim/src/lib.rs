@@ -42,10 +42,12 @@ pub mod device;
 pub mod driver;
 pub mod event;
 pub mod fault;
+pub mod profile;
 pub mod request;
 pub mod rng;
 pub mod sched;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod tracer;
 pub mod workload;
@@ -55,9 +57,11 @@ pub use device::{ConstantDevice, PhaseEnergy, PowerState, ServiceBreakdown, Stor
 pub use driver::{Driver, SimReport};
 pub use event::{Event, EventQueue};
 pub use fault::{FaultClock, FaultEvent, FaultKind};
+pub use profile::{ProfScope, Profiler, ScopeStats};
 pub use request::{Completion, IoKind, Request, RequestId};
 pub use sched::{FifoScheduler, SchedCounters, Scheduler};
-pub use stats::{Histogram, ResponseStats, Welford};
+pub use stats::{Histogram, LogHistogram, ResponseStats, Welford};
+pub use telemetry::{Telemetry, TracerPair, Window};
 pub use time::SimTime;
 pub use tracer::{NoopTracer, RingTracer, TraceCounters, TraceEvent, Tracer};
 pub use workload::{FnWorkload, VecWorkload, Workload};

@@ -287,6 +287,184 @@ impl Histogram {
     }
 }
 
+/// A mergeable log-spaced streaming histogram for latency-style samples.
+///
+/// Bin `i` covers `[lo·r^i, lo·r^(i+1))` where `r = 10^(1/bins_per_decade)`,
+/// so relative resolution is constant across the full dynamic range — the
+/// right shape for response times that span 0.1 ms to seconds under load.
+/// Unlike [`ResponseStats`] it keeps no per-sample state, so a telemetry
+/// window costs O(bins) regardless of how many requests land in it, and two
+/// histograms with the same `(lo, bins_per_decade)` law merge by adding
+/// counts — the operation the telemetry coarsening step relies on.
+///
+/// Samples below `lo` (including zero) are counted in an underflow bin that
+/// quantile queries treat as the value `lo`.
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::LogHistogram;
+///
+/// let mut h = LogHistogram::response_times();
+/// for x in [0.4e-3, 0.5e-3, 0.6e-3, 12e-3] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// // The p50 estimate lands within one log-spaced bin of 0.5 ms.
+/// let p50 = h.quantile(0.5);
+/// assert!(p50 > 0.4e-3 && p50 < 0.7e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    lo: f64,
+    bins_per_decade: u32,
+    /// `ln` of the bin-width ratio `r`, precomputed for indexing.
+    ln_ratio: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram whose first bin starts at `lo` with
+    /// `bins_per_decade` bins per factor of ten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is not positive and finite or `bins_per_decade` is 0.
+    pub fn new(lo: f64, bins_per_decade: u32) -> Self {
+        assert!(
+            lo > 0.0 && lo.is_finite(),
+            "histogram origin must be positive and finite"
+        );
+        assert!(bins_per_decade > 0, "need at least one bin per decade");
+        LogHistogram {
+            lo,
+            bins_per_decade,
+            ln_ratio: std::f64::consts::LN_10 / f64::from(bins_per_decade),
+            bins: Vec::new(),
+            underflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// The standard response-time law used by the telemetry layer: 10 µs
+    /// origin, 20 bins per decade (bin-width ratio ≈ 1.12, i.e. estimates
+    /// within ~12% of exact percentiles).
+    pub fn response_times() -> Self {
+        LogHistogram::new(10e-6, 20)
+    }
+
+    /// The bin-width ratio `r = 10^(1/bins_per_decade)`.
+    pub fn bin_ratio(&self) -> f64 {
+        self.ln_ratio.exp()
+    }
+
+    /// Whether `other` uses the same binning law (and may be merged).
+    pub fn same_law(&self, other: &LogHistogram) -> bool {
+        self.lo == other.lo && self.bins_per_decade == other.bins_per_decade
+    }
+
+    /// Adds a sample. Non-finite samples count into the underflow bin
+    /// (and contribute nothing to the sum) rather than poisoning the
+    /// histogram.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += if x.is_finite() { x } else { 0.0 };
+        if !x.is_finite() || x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.lo).ln() / self.ln_ratio).floor() as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite samples (for windowed means).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the recorded samples; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Samples that fell below the histogram origin.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo * (self.ln_ratio * i as f64).exp()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest rank over the bin counts,
+    /// reported as the geometric midpoint of the containing bin; zero when
+    /// empty. Guaranteed within one bin width of the exact sample quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Same nearest-rank convention as `ResponseStats::percentile`.
+        let rank = ((self.count as f64 - 1.0) * q).round() as u64;
+        let mut seen = self.underflow;
+        if rank < seen {
+            return self.lo;
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if rank < seen {
+                // Geometric midpoint of [bin_lo, bin_lo·r).
+                return self.bin_lo(i) * (self.ln_ratio * 0.5).exp();
+            }
+        }
+        // Unreachable when counts are consistent; fall back to the top edge.
+        self.bin_lo(self.bins.len())
+    }
+
+    /// Merges `other` into this histogram by adding counts; exact (no
+    /// re-binning error) and associative on the counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms use different binning laws.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.same_law(other),
+            "cannot merge histograms with different binning laws"
+        );
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (dst, src) in self.bins.iter_mut().zip(&other.bins) {
+            *dst += src;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +541,110 @@ mod tests {
     fn percentile_empty_is_zero() {
         let mut r = ResponseStats::new();
         assert_eq!(r.percentile(0.5), 0.0);
+    }
+
+    /// Deterministic pseudo-random response-time-like samples (seconds).
+    fn seeded_samples(seed: u64, n: usize) -> Vec<f64> {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Spread over ~3 decades: 0.1 ms .. 100 ms.
+                let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+                1e-4 * 10f64.powf(3.0 * u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn log_histogram_percentiles_within_one_bin_of_exact() {
+        for seed in [3u64, 17, 0x5EED] {
+            let xs = seeded_samples(seed, 4000);
+            let mut h = LogHistogram::response_times();
+            let mut exact = ResponseStats::new();
+            for &x in &xs {
+                h.push(x);
+                exact.push(x);
+            }
+            let ratio = h.bin_ratio();
+            for q in [0.5, 0.95, 0.99] {
+                let est = h.quantile(q);
+                let truth = exact.percentile(q);
+                // Same nearest-rank convention, so the estimate's bin
+                // contains the exact order statistic: the two values agree
+                // to within one bin width (a factor of `ratio`).
+                assert!(
+                    est / truth <= ratio * (1.0 + 1e-12) && truth / est <= ratio * (1.0 + 1e-12),
+                    "seed {seed} q {q}: estimate {est} vs exact {truth} (ratio {ratio})"
+                );
+            }
+            assert_eq!(h.count(), exact.count());
+            assert!((h.mean() - exact.mean()).abs() <= 1e-12 * exact.mean());
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_is_associative_and_exact() {
+        let xs = seeded_samples(99, 3000);
+        let thirds: Vec<LogHistogram> = xs
+            .chunks(1000)
+            .map(|chunk| {
+                let mut h = LogHistogram::response_times();
+                for &x in chunk {
+                    h.push(x);
+                }
+                h
+            })
+            .collect();
+        let [a, b, c] = [&thirds[0], &thirds[1], &thirds[2]];
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.bins, right.bins, "bin counts must merge associatively");
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.underflow(), right.underflow());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(left.quantile(q), right.quantile(q));
+        }
+        // The merged histogram equals the sequentially-filled one bin for bin.
+        let mut all = LogHistogram::response_times();
+        for &x in &xs {
+            all.push(x);
+        }
+        assert_eq!(left.bins, all.bins);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn log_histogram_underflow_and_degenerate_inputs() {
+        let mut h = LogHistogram::new(1e-5, 10);
+        h.push(0.0);
+        h.push(f64::NAN);
+        h.push(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.underflow(), 3);
+        // All mass below the origin: quantiles report the origin.
+        assert_eq!(h.quantile(0.5), 1e-5);
+        assert_eq!(h.sum(), 0.0, "non-finite samples add nothing to the sum");
+        let empty = LogHistogram::response_times();
+        assert_eq!(empty.quantile(0.99), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning laws")]
+    fn log_histogram_rejects_mismatched_merge() {
+        let mut a = LogHistogram::new(1e-5, 10);
+        let b = LogHistogram::new(1e-5, 20);
+        a.merge(&b);
     }
 
     #[test]

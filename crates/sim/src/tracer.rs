@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 
 use crate::device::{PhaseEnergy, ServiceBreakdown};
 use crate::fault::FaultKind;
+use crate::profile::ProfScope;
 use crate::request::{Completion, IoKind, Request};
 use crate::time::SimTime;
 
@@ -35,6 +36,15 @@ pub trait Tracer {
     /// candidate-count deltas, queue-depth samples) at all. `false`
     /// compiles the instrumented paths out entirely.
     const ENABLED: bool;
+
+    /// Whether the driver should wrap its hot components (scheduler picks,
+    /// device service, fault delivery, the event loop) in wall-clock scoped
+    /// timers and report them via [`Tracer::on_scope`] /
+    /// [`Tracer::on_run_wall`]. Defaults to `false`: only self-profiling
+    /// tracers (e.g. [`crate::Profiler`]) pay for `Instant::now()` calls.
+    /// The timers never feed back into the simulation, so simulated results
+    /// are identical either way.
+    const PROFILE: bool = false;
 
     /// A request entered the scheduler queue at `now`; `queue_depth` is
     /// the pending count including this request.
@@ -75,6 +85,19 @@ pub trait Tracer {
     /// A scheduled fault event was delivered to the device at `now`.
     fn on_fault(&mut self, fault: &FaultKind, now: SimTime) {
         let _ = (fault, now);
+    }
+
+    /// One wall-clock scope completed in `wall_nanos` nanoseconds. Only
+    /// called when [`Tracer::PROFILE`] is `true`.
+    fn on_scope(&mut self, scope: ProfScope, wall_nanos: u64) {
+        let _ = (scope, wall_nanos);
+    }
+
+    /// The event loop finished after processing `events` simulation events
+    /// in `wall_nanos` wall-clock nanoseconds. Only called when
+    /// [`Tracer::PROFILE`] is `true`.
+    fn on_run_wall(&mut self, events: u64, wall_nanos: u64) {
+        let _ = (events, wall_nanos);
     }
 }
 
@@ -306,6 +329,9 @@ pub struct TraceCounters {
     pub faults: u64,
     /// Events evicted from the ring because it was full.
     pub dropped_events: u64,
+    /// Queue-depth samples evicted because the series was full. The
+    /// max-depth statistic stays exact regardless.
+    pub dropped_depth_samples: u64,
 }
 
 /// A recording tracer: bounded event ring, counters, phase/energy sums,
@@ -343,6 +369,9 @@ pub struct RingTracer {
     /// the event ring).
     depth_series: VecDeque<(f64, usize)>,
     max_queue_depth: usize,
+    /// Device-side positioning-cache `(hits, misses)`, attached by the
+    /// harness after a run (the tracer itself cannot see the device).
+    cache_stats: Option<(u64, u64)>,
 }
 
 impl RingTracer {
@@ -363,7 +392,21 @@ impl RingTracer {
             energy_sum: PhaseEnergy::default(),
             depth_series: VecDeque::with_capacity(capacity.min(4096)),
             max_queue_depth: 0,
+            cache_stats: None,
         }
+    }
+
+    /// Attaches the device's seek-time memo-table hit/miss counters so the
+    /// summary JSON reports cache effectiveness alongside the scheduler
+    /// counters. Call after the run (e.g. with
+    /// `device.seek_table_stats()`); pass the raw `(hits, misses)`.
+    pub fn set_cache_stats(&mut self, hits: u64, misses: u64) {
+        self.cache_stats = Some((hits, misses));
+    }
+
+    /// The attached positioning-cache `(hits, misses)`, if any.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache_stats
     }
 
     fn push_event(&mut self, ev: TraceEvent) {
@@ -452,6 +495,7 @@ impl RingTracer {
                 "  \"mean_queue_depth_at_pick\": {:.4},\n",
                 "  \"max_queue_depth\": {},\n",
                 "  \"dropped_events\": {},\n",
+                "  \"dropped_depth_samples\": {},\n",
                 "  \"phase_seconds\": {{\n",
                 "    \"positioning\": {:.9},\n",
                 "    \"seek_x\": {:.9},\n",
@@ -468,8 +512,7 @@ impl RingTracer {
                 "    \"transfer\": {:.9},\n",
                 "    \"overhead\": {:.9},\n",
                 "    \"total\": {:.9}\n",
-                "  }}\n",
-                "}}\n"
+                "  }}"
             ),
             c.arrivals,
             c.picks,
@@ -479,6 +522,7 @@ impl RingTracer {
             self.mean_depth_at_pick(),
             self.max_queue_depth,
             c.dropped_events,
+            c.dropped_depth_samples,
             p.positioning,
             p.seek_x,
             p.settle,
@@ -493,6 +537,19 @@ impl RingTracer {
             e.overhead_j,
             e.total(),
         );
+        if let Some((hits, misses)) = self.cache_stats {
+            let total = hits + misses;
+            let rate = if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            };
+            let _ = write!(
+                s,
+                ",\n  \"seek_cache\": {{\n    \"hits\": {hits},\n    \"misses\": {misses},\n    \"hit_rate\": {rate:.4}\n  }}"
+            );
+        }
+        s.push_str("\n}\n");
         s
     }
 }
@@ -569,6 +626,7 @@ impl Tracer for RingTracer {
         self.max_queue_depth = self.max_queue_depth.max(depth);
         if self.depth_series.len() == self.capacity {
             self.depth_series.pop_front();
+            self.counters.dropped_depth_samples += 1;
         }
         self.depth_series.push_back((now.as_secs(), depth));
     }
@@ -693,6 +751,27 @@ mod tests {
         }
         assert_eq!(t.depth_series().count(), 3);
         assert_eq!(t.max_queue_depth(), 9);
+        assert_eq!(
+            t.counters().dropped_depth_samples,
+            7,
+            "evicted samples are accounted, not silent"
+        );
+        assert!(t.summary_json().contains("\"dropped_depth_samples\": 7"));
+    }
+
+    #[test]
+    fn summary_reports_cache_stats_when_attached() {
+        let mut t = RingTracer::new(4);
+        assert!(
+            !t.summary_json().contains("seek_cache"),
+            "no cache section until stats are attached"
+        );
+        t.set_cache_stats(30, 10);
+        assert_eq!(t.cache_stats(), Some((30, 10)));
+        let s = t.summary_json();
+        assert!(s.contains("\"seek_cache\""));
+        assert!(s.contains("\"hits\": 30"));
+        assert!(s.contains("\"hit_rate\": 0.7500"));
     }
 
     #[test]
