@@ -74,6 +74,50 @@ fn bench_pick(c: &mut Criterion) {
     }
     group.finish();
 
+    // The devirtualization ladder: one SPTF drain, three dispatch tiers.
+    // "naive" re-scans the whole queue per pick, "pruned" is the bucket
+    // scan fully monomorphized against the device, and "dyn" is the same
+    // pruned scan behind the type-erased `DynScheduler` box (one virtual
+    // hop per pick plus a `&dyn PositionOracle` oracle).
+    let mut group = c.benchmark_group("sptf_dispatch");
+    for depth in [64usize, 256, 1024] {
+        let reqs = requests(depth);
+        group.bench_with_input(BenchmarkId::new("naive", depth), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut s = NaiveSptfScheduler::new();
+                for r in reqs {
+                    s.enqueue(*r);
+                }
+                while let Some(r) = s.pick(&dev, SimTime::ZERO) {
+                    black_box(r);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", depth), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut s = SptfScheduler::new();
+                for r in reqs {
+                    s.enqueue(*r);
+                }
+                while let Some(r) = s.pick(&dev, SimTime::ZERO) {
+                    black_box(r);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dyn", depth), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut s: Box<dyn storage_sim::DynScheduler> = Box::new(SptfScheduler::new());
+                for r in reqs {
+                    s.enqueue(*r);
+                }
+                while let Some(r) = s.pick(&dev, SimTime::ZERO) {
+                    black_box(r);
+                }
+            })
+        });
+    }
+    group.finish();
+
     // Single-dispatch cost at a fixed depth, per algorithm.
     let mut group = c.benchmark_group("single_pick_depth_256");
     for alg in Algorithm::ALL {

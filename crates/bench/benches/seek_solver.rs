@@ -3,9 +3,10 @@
 //! on every dispatch decision.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mems_bench::surfaced_mems_device;
 use mems_device::{MemsDevice, MemsParams, SledState, SpringSled};
 use std::hint::black_box;
-use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+use storage_sim::{IoKind, PositionOracle, Request, SimTime, StorageDevice};
 
 fn bench_kinematics(c: &mut Criterion) {
     let sled = SpringSled::from_spring_factor(803.6, 0.75, 50e-6);
@@ -83,9 +84,18 @@ fn bench_seek_table(c: &mut Criterion) {
     };
     let direct = park(false);
     let memo = park(true);
+    // The shared immutable surface: every on-grid query is a bounds-checked
+    // array read, no memoization or solving at query time.
+    let surface = {
+        let mut d = surfaced_mems_device(&MemsParams::default());
+        let r = Request::new(0, SimTime::ZERO, 1_000_000, 8, IoKind::Read);
+        let _ = d.service(&r, SimTime::ZERO);
+        d
+    };
     for (name, dev) in [
         ("position_time_direct_solve", &direct),
         ("position_time_seek_table", &memo),
+        ("position_time_seek_surface", &surface),
     ] {
         c.bench_function(name, |b| {
             let mut x = 5u64;

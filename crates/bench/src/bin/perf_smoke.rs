@@ -2,17 +2,23 @@
 //! path, written to `BENCH_sched.json` so the perf trajectory is tracked
 //! in-repo from PR to PR.
 //!
-//! Three sections:
+//! Five sections:
 //!
 //! 1. **seek_table** — `position_time` cost from an on-grid sled state,
 //!    direct solve vs memo table (the SPTF oracle's unit of work);
-//! 2. **sptf_pick** — draining a deep queue, naive full scan vs pruned
+//! 2. **seek_surface** — the fully materialized immutable surface: build
+//!    cost, footprint, and ns/query against both the direct solver and
+//!    the memo table;
+//! 3. **sptf_pick** — draining a deep queue, naive full scan vs pruned
 //!    bucket scan (same picks, different work);
-//! 3. **fig6_sptf** — the acceptance measurement: the Fig. 6 SPTF cell at
+//! 4. **devirt_pick** — the same pruned drain through the type-erased
+//!    `DynScheduler` box vs the monomorphized static path;
+//! 5. **fig6_sptf** — the acceptance measurement: the Fig. 6 SPTF cell at
 //!    the highest arrival rate over several seeds, naive scan + direct
 //!    solves + serial seed loop vs pruned pick + seek table + parallel
-//!    sweep. The two configurations must report identical mean response
-//!    times (the fast path is pick-equivalent); only the wall clock moves.
+//!    sweep vs the shared-surface devices. All three configurations must
+//!    report identical mean response times (the fast paths are
+//!    pick-equivalent); only the wall clock moves.
 //!
 //! Run from the workspace root: `cargo run --release -p mems-bench --bin
 //! perf_smoke` (pass a request count to override the default 4000).
@@ -20,10 +26,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use mems_bench::replicated_point;
+use mems_bench::{replicated_point, shared_seek_surface, surfaced_mems_device};
 use mems_device::{MemsDevice, MemsParams};
 use mems_os::sched::{Algorithm, NaiveSptfScheduler, SptfScheduler};
-use storage_sim::{Driver, IoKind, Request, Scheduler, SimTime, StorageDevice};
+use storage_sim::{
+    Driver, DynScheduler, IoKind, PositionOracle, Request, Scheduler, SimTime, StorageDevice,
+};
 use storage_trace::RandomWorkload;
 
 const CAPACITY: u64 = 6_750_000;
@@ -38,12 +46,16 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
-/// A device parked on-grid (one request serviced), as in steady state.
-fn parked(table: bool) -> MemsDevice {
-    let mut d = MemsDevice::new(MemsParams::default()).with_seek_table(table);
+/// Parks a device on-grid (one request serviced), as in steady state.
+fn park(mut d: MemsDevice) -> MemsDevice {
     let r = Request::new(0, SimTime::ZERO, 1_000_000, 8, IoKind::Read);
     let _ = d.service(&r, SimTime::ZERO);
     d
+}
+
+/// A parked device with or without the memoizing seek table.
+fn parked(table: bool) -> MemsDevice {
+    park(MemsDevice::new(MemsParams::default()).with_seek_table(table))
 }
 
 fn lcg(x: &mut u64) -> u64 {
@@ -113,7 +125,22 @@ fn main() {
     println!("seek_table:  direct {direct_ns:8.1} ns/query   memo {memo_ns:8.1} ns/query   ({:.1}x, hit rate {:.3})",
         direct_ns / memo_ns, stats.hit_rate());
 
-    // 2. Pick micro.
+    // 2. Seek-surface micro: the fully materialized immutable surface,
+    // built once and shared process-wide through the sweep registry.
+    let (surface, build_secs) = timed(|| {
+        shared_seek_surface(&MemsParams::default()).expect("paper surface within size guard")
+    });
+    let surface_bytes = surface.bytes();
+    let surface_dev = park(surfaced_mems_device(&MemsParams::default()));
+    let surface_ns = time_queries(&surface_dev, n_queries);
+    println!(
+        "seek_surface: built in {build_secs:.2} s ({:.1} MB)   surface {surface_ns:6.1} ns/query  ({:.1}x vs direct, {:.1}x vs memo)",
+        surface_bytes as f64 / (1 << 20) as f64,
+        direct_ns / surface_ns,
+        memo_ns / surface_ns
+    );
+
+    // 3. Pick micro.
     let depth = 1024;
     let naive_us = time_drain(NaiveSptfScheduler::new, &direct_dev, depth);
     let pruned_us = time_drain(SptfScheduler::new, &memo_dev, depth);
@@ -122,8 +149,22 @@ fn main() {
         naive_us / pruned_us
     );
 
-    // 3. Fig. 6 SPTF cell at the highest rate: serial+naive+direct vs
-    // parallel+pruned+table.
+    // 4. Devirtualization micro: the identical pruned drain, dispatched
+    // through the type-erased box (one virtual pick_dyn hop plus a dyn
+    // positioning oracle) vs the fully monomorphized path.
+    let dyn_us = time_drain(
+        || -> Box<dyn DynScheduler> { Box::new(SptfScheduler::new()) },
+        &memo_dev,
+        depth,
+    );
+    let static_us = time_drain(SptfScheduler::new, &memo_dev, depth);
+    println!(
+        "devirt_pick: dyn {dyn_us:11.2} us/pick    static {static_us:7.2} us/pick    ({:.2}x at depth {depth})",
+        dyn_us / static_us
+    );
+
+    // 5. Fig. 6 SPTF cell at the highest rate: serial+naive+direct vs
+    // parallel+pruned+table vs parallel+pruned+shared-surface.
     let (baseline_means, baseline_secs) = timed(|| {
         SEEDS
             .iter()
@@ -152,15 +193,27 @@ fn main() {
             warmup,
         )
     });
+    let (surface_point, surface_secs) = timed(|| {
+        replicated_point(
+            RATE,
+            Algorithm::Sptf,
+            &SEEDS,
+            |rate, seed| RandomWorkload::paper(CAPACITY, rate, requests, seed),
+            || surfaced_mems_device(&MemsParams::default()),
+            warmup,
+        )
+    });
     let speedup = baseline_secs / fast_secs;
-    let means_match = baseline_mean == fast_point.mean_ms;
+    let surface_speedup = baseline_secs / surface_secs;
+    let means_match =
+        baseline_mean == fast_point.mean_ms && fast_point.mean_ms == surface_point.mean_ms;
     println!(
-        "fig6_sptf:   baseline {baseline_secs:6.2} s      fast {fast_secs:6.2} s        ({speedup:.1}x, {} seeds x {requests} reqs @ {RATE} req/s, {threads} threads)",
+        "fig6_sptf:   baseline {baseline_secs:6.2} s      fast {fast_secs:6.2} s      surface {surface_secs:6.2} s  ({speedup:.1}x / {surface_speedup:.1}x, {} seeds x {requests} reqs @ {RATE} req/s, {threads} threads)",
         SEEDS.len()
     );
     println!(
-        "             mean response {baseline_mean:.4} ms vs {:.4} ms  (identical: {means_match})",
-        fast_point.mean_ms
+        "             mean response {baseline_mean:.4} ms vs {:.4} ms vs {:.4} ms  (identical: {means_match})",
+        fast_point.mean_ms, surface_point.mean_ms
     );
     if !means_match {
         eprintln!("warning: fast path changed the simulation result — pick equivalence broken");
@@ -179,10 +232,23 @@ fn main() {
             "    \"speedup\": {:.2},\n",
             "    \"hit_rate\": {:.4}\n",
             "  }},\n",
+            "  \"seek_surface\": {{\n",
+            "    \"build_secs\": {:.3},\n",
+            "    \"bytes\": {},\n",
+            "    \"surface_ns_per_query\": {:.2},\n",
+            "    \"speedup_vs_direct\": {:.2},\n",
+            "    \"speedup_vs_memo\": {:.2}\n",
+            "  }},\n",
             "  \"sptf_pick\": {{\n",
             "    \"queue_depth\": {},\n",
             "    \"naive_us_per_pick\": {:.3},\n",
             "    \"pruned_us_per_pick\": {:.3},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"devirt_pick\": {{\n",
+            "    \"queue_depth\": {},\n",
+            "    \"dyn_us_per_pick\": {:.3},\n",
+            "    \"static_us_per_pick\": {:.3},\n",
             "    \"speedup\": {:.2}\n",
             "  }},\n",
             "  \"fig6_sptf\": {{\n",
@@ -192,9 +258,12 @@ fn main() {
             "    \"seeds\": {},\n",
             "    \"baseline_naive_serial_secs\": {:.3},\n",
             "    \"fast_pruned_parallel_secs\": {:.3},\n",
+            "    \"surface_shared_secs\": {:.3},\n",
             "    \"speedup\": {:.2},\n",
+            "    \"surface_speedup\": {:.2},\n",
             "    \"baseline_mean_response_ms\": {:.6},\n",
             "    \"fast_mean_response_ms\": {:.6},\n",
+            "    \"surface_mean_response_ms\": {:.6},\n",
             "    \"means_identical\": {}\n",
             "  }}\n",
             "}}\n"
@@ -205,19 +274,31 @@ fn main() {
         memo_ns,
         direct_ns / memo_ns,
         stats.hit_rate(),
+        build_secs,
+        surface_bytes,
+        surface_ns,
+        direct_ns / surface_ns,
+        memo_ns / surface_ns,
         depth,
         naive_us,
         pruned_us,
         naive_us / pruned_us,
+        depth,
+        dyn_us,
+        static_us,
+        dyn_us / static_us,
         RATE,
         requests,
         warmup,
         SEEDS.len(),
         baseline_secs,
         fast_secs,
+        surface_secs,
         speedup,
+        surface_speedup,
         baseline_mean,
         fast_point.mean_ms,
+        surface_point.mean_ms,
         means_match,
     );
     match std::fs::write("BENCH_sched.json", &json) {

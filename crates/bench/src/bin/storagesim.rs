@@ -28,7 +28,7 @@ use mems_os::sched::{
     AgedSptfScheduler, ClookScheduler, FscanScheduler, LookScheduler, SptfScheduler, SstfScheduler,
     VrScheduler,
 };
-use storage_sim::{Driver, FifoScheduler, Scheduler, SimReport, StorageDevice, Workload};
+use storage_sim::{Driver, DynScheduler, FifoScheduler, SimReport, StorageDevice, Workload};
 use storage_trace::{
     cello_for_capacity, generate_streaming, tpcc_for_capacity, RandomWorkload, StreamingParams,
     TraceWorkload,
@@ -110,7 +110,7 @@ fn parse_args() -> Args {
     args
 }
 
-fn build_scheduler(name: &str) -> Box<dyn Scheduler> {
+fn build_scheduler(name: &str) -> Box<dyn DynScheduler> {
     match name {
         "fcfs" => Box::new(FifoScheduler::new()),
         "sstf" => Box::new(SstfScheduler::new()),

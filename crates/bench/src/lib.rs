@@ -10,4 +10,7 @@ pub mod report;
 pub mod sweep;
 
 pub use report::{write_csv, Table};
-pub use sweep::{replicated_point, run_one, sched_sweep, ReplicatedPoint, SweepPoint};
+pub use sweep::{
+    replicated_point, run_one, sched_sweep, shared_seek_surface, surfaced_mems_device,
+    ReplicatedPoint, SweepPoint,
+};

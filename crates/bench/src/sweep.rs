@@ -3,14 +3,23 @@
 //! Every sweep cell (one algorithm at one arrival rate, or one seed of a
 //! replicated point) owns a fresh workload, scheduler, and device, so the
 //! cells are embarrassingly parallel: they run on `std::thread::scope`
-//! workers pulling from a shared atomic work index, and results land in
-//! per-cell slots so the output order (and hence every downstream table,
-//! CSV, and statistic) is identical to the serial runner's.
+//! workers pulling from a shared atomic work index. Each worker collects
+//! its `(cell, result)` pairs privately — no lock is taken per cell — and
+//! the pairs are merged back into job order afterwards, so the output
+//! (and hence every downstream table, CSV, and statistic) is identical to
+//! the serial runner's.
+//!
+//! Cells that share MEMS parameters can also share one immutable
+//! [`SeekSurface`] through [`shared_seek_surface`]: the surface is solved
+//! once, in parallel, and every cell's device borrows it via `Arc` — the
+//! per-cell cost drops from re-memoizing thousands of seeks to a
+//! read-only table lookup.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 
+use mems_device::{MemsDevice, MemsParams, SeekSurface};
 use mems_os::sched::{Algorithm, ClookScheduler, SptfScheduler, SstfScheduler};
 use storage_sim::{Driver, FifoScheduler, Scheduler, SimReport, StorageDevice, Workload};
 
@@ -83,26 +92,79 @@ where
     if threads <= 1 {
         return (0..n).map(job).collect();
     }
+    // Workers pull cells off a shared atomic index but accumulate their
+    // (index, result) pairs privately, so result collection is lock-free:
+    // the merge happens once, after the scope joins, by a stable sort on
+    // the cell index.
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let mut parts: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
     thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = job(i);
-                slots.lock().expect("no poisoned cell")[i] = Some(result);
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().expect("no poisoned cell"));
         }
     });
-    slots
-        .into_inner()
-        .expect("no poisoned cell")
-        .into_iter()
-        .map(|slot| slot.expect("every cell ran"))
-        .collect()
+    let mut merged: Vec<(usize, T)> = parts.into_iter().flatten().collect();
+    merged.sort_by_key(|&(i, _)| i);
+    assert_eq!(merged.len(), n, "every cell ran exactly once");
+    merged.into_iter().map(|(_, result)| result).collect()
+}
+
+/// One registry entry: the parameter set and the surface solved for it.
+type SurfaceEntry = (MemsParams, Arc<SeekSurface>);
+
+/// Process-wide registry of immutable seek surfaces, keyed by the MEMS
+/// parameter set that produced them. `MemsParams` is not hashable (it
+/// holds floats), so lookup is a linear scan — the registry holds a
+/// handful of parameter sets at most.
+static SURFACE_REGISTRY: OnceLock<Mutex<Vec<SurfaceEntry>>> = OnceLock::new();
+
+/// Returns the process-shared [`SeekSurface`] for `params`, solving it
+/// (once, across all cores) on first request. Subsequent calls — from any
+/// sweep cell on any thread — get an [`Arc`] clone of the same read-only
+/// tables. Returns `None` when the surface would exceed its size guard
+/// ([`SeekSurface::MAX_X_MATRIX_BYTES`]); callers fall back to the
+/// per-device memo table.
+///
+/// The registry lock is held across the build on purpose: two cells
+/// racing for the same parameters must not both pay the full-matrix
+/// solve (≈50 MB for the paper device).
+pub fn shared_seek_surface(params: &MemsParams) -> Option<Arc<SeekSurface>> {
+    let registry = SURFACE_REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+    let mut entries = registry.lock().expect("surface registry poisoned");
+    if let Some((_, surface)) = entries.iter().find(|(p, _)| p == params) {
+        return Some(Arc::clone(surface));
+    }
+    let surface = Arc::new(SeekSurface::build(params)?);
+    entries.push((params.clone(), Arc::clone(&surface)));
+    Some(surface)
+}
+
+/// A MEMS device whose positioning queries hit the process-shared
+/// [`SeekSurface`] for `params` — the fastest query path. Falls back to
+/// the memoizing seek table when the surface exceeds its size guard, so
+/// the device is always usable and always bit-identical to the direct
+/// solver.
+pub fn surfaced_mems_device(params: &MemsParams) -> MemsDevice {
+    let dev = MemsDevice::new(params.clone()).with_seek_table(true);
+    match shared_seek_surface(params) {
+        Some(surface) => dev.with_seek_surface(surface),
+        None => dev,
+    }
 }
 
 /// Sweeps every algorithm over a set of rates, running the cells in

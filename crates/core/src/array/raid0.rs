@@ -1,6 +1,6 @@
 //! RAID-0: block-interleaved striping.
 
-use storage_sim::{Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 use super::{combine, service_member, stripe_spans};
 
@@ -55,6 +55,16 @@ impl<D: StorageDevice> Raid0Device<D> {
     }
 }
 
+impl<D: StorageDevice> PositionOracle for Raid0Device<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        // The first touched member's positioning dominates small requests.
+        let spans = stripe_spans(req.lbn, req.sectors, self.stripe_unit, self.members.len());
+        let s = spans[0];
+        let sub = Request::new(req.id, req.arrival, s.lbn, s.sectors, req.kind);
+        self.members[s.member].position_time(&sub, now)
+    }
+}
+
 impl<D: StorageDevice> StorageDevice for Raid0Device<D> {
     fn name(&self) -> &str {
         &self.name
@@ -89,14 +99,6 @@ impl<D: StorageDevice> StorageDevice for Raid0Device<D> {
             }
         }
         combine(slowest, first)
-    }
-
-    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-        // The first touched member's positioning dominates small requests.
-        let spans = stripe_spans(req.lbn, req.sectors, self.stripe_unit, self.members.len());
-        let s = spans[0];
-        let sub = Request::new(req.id, req.arrival, s.lbn, s.sectors, req.kind);
-        self.members[s.member].position_time(&sub, now)
     }
 
     fn reset(&mut self) {

@@ -1,6 +1,6 @@
 //! RAID-1: mirroring with positioning-aware read steering.
 
-use storage_sim::{IoKind, Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{IoKind, PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 /// A two-way (or wider) mirror.
 ///
@@ -66,6 +66,22 @@ impl<D: StorageDevice> Raid1Device<D> {
     }
 }
 
+impl<D: StorageDevice> PositionOracle for Raid1Device<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        match req.kind {
+            IoKind::Read => {
+                let target = self.steer(req, now);
+                self.replicas[target].position_time(req, now)
+            }
+            IoKind::Write => self
+                .replicas
+                .iter()
+                .map(|r| r.position_time(req, now))
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
 impl<D: StorageDevice> StorageDevice for Raid1Device<D> {
     fn name(&self) -> &str {
         &self.name
@@ -91,20 +107,6 @@ impl<D: StorageDevice> StorageDevice for Raid1Device<D> {
                 }
                 slowest
             }
-        }
-    }
-
-    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-        match req.kind {
-            IoKind::Read => {
-                let target = self.steer(req, now);
-                self.replicas[target].position_time(req, now)
-            }
-            IoKind::Write => self
-                .replicas
-                .iter()
-                .map(|r| r.position_time(req, now))
-                .fold(0.0, f64::max),
         }
     }
 

@@ -6,7 +6,7 @@
 //! the read-modify-write cycle on the data member and the parity member
 //! — the §6.2 cost that MEMS turnarounds nearly erase.
 
-use storage_sim::{IoKind, Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{IoKind, PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 use super::combine;
 
@@ -86,6 +86,22 @@ impl<D: StorageDevice> Raid5Device<D> {
             a += u64::from(chunk);
         }
         out
+    }
+}
+
+impl<D: StorageDevice> PositionOracle for Raid5Device<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        let su = u64::from(self.stripe_unit);
+        let strip = req.lbn / su;
+        let (data, _, base) = self.locate(strip);
+        let sub = Request::new(
+            req.id,
+            req.arrival,
+            base + req.lbn % su,
+            req.sectors.min(self.stripe_unit),
+            req.kind,
+        );
+        self.members[data].position_time(&sub, now)
     }
 }
 
@@ -174,20 +190,6 @@ impl<D: StorageDevice> StorageDevice for Raid5Device<D> {
         }
         let slowest = busy.iter().copied().fold(0.0, f64::max);
         combine(slowest, first)
-    }
-
-    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-        let su = u64::from(self.stripe_unit);
-        let strip = req.lbn / su;
-        let (data, _, base) = self.locate(strip);
-        let sub = Request::new(
-            req.id,
-            req.arrival,
-            base + req.lbn % su,
-            req.sectors.min(self.stripe_unit),
-            req.kind,
-        );
-        self.members[data].position_time(&sub, now)
     }
 
     fn reset(&mut self) {

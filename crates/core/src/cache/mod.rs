@@ -19,7 +19,7 @@ mod prefetch;
 pub use lru::LruCache;
 pub use prefetch::SequentialDetector;
 
-use storage_sim::{IoKind, Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{IoKind, PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 /// Statistics accumulated by a [`CachedDevice`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -122,6 +122,16 @@ impl<D: StorageDevice> CachedDevice<D> {
     }
 }
 
+impl<D: StorageDevice> PositionOracle for CachedDevice<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        if req.kind == IoKind::Read && self.all_cached(req) {
+            0.0
+        } else {
+            self.inner.position_time(req, now)
+        }
+    }
+}
+
 impl<D: StorageDevice> StorageDevice for CachedDevice<D> {
     fn name(&self) -> &str {
         self.inner.name()
@@ -163,14 +173,6 @@ impl<D: StorageDevice> StorageDevice for CachedDevice<D> {
         let b = self.inner.service(&fetch, now);
         self.insert_range(fetch.lbn, u64::from(fetch.sectors));
         b
-    }
-
-    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-        if req.kind == IoKind::Read && self.all_cached(req) {
-            0.0
-        } else {
-            self.inner.position_time(req, now)
-        }
     }
 
     fn reset(&mut self) {

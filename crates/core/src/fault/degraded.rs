@@ -29,7 +29,9 @@ use atlas_disk::DiskDevice;
 use mems_device::{Mapper, MemsDevice};
 use rand::rngs::SmallRng;
 use storage_sim::rng;
-use storage_sim::{FaultKind, PhaseEnergy, Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{
+    FaultKind, PhaseEnergy, PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice,
+};
 
 use super::inject::{FaultState, MediaDefect};
 use super::remap::{RemapPolicy, RemapTable, SpareTipPolicy};
@@ -352,6 +354,28 @@ impl<D: StorageDevice> DegradedDevice<D> {
     }
 }
 
+impl<D: StorageDevice> PositionOracle for DegradedDevice<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        self.inner.position_time(&self.remap.effective(req), now)
+    }
+
+    fn position_bucket(&self, req: &Request) -> u64 {
+        self.inner.position_bucket(&self.remap.effective(req))
+    }
+
+    fn current_bucket(&self) -> u64 {
+        self.inner.current_bucket()
+    }
+
+    fn min_position_time_at_bucket_distance(&self, distance: u64) -> f64 {
+        self.inner.min_position_time_at_bucket_distance(distance)
+    }
+
+    fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
+        self.inner.bucket_position_time_floor(bucket)
+    }
+}
+
 impl<D: StorageDevice> StorageDevice for DegradedDevice<D> {
     fn name(&self) -> &str {
         &self.name
@@ -373,30 +397,10 @@ impl<D: StorageDevice> StorageDevice for DegradedDevice<D> {
         b
     }
 
-    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-        self.inner.position_time(&self.remap.effective(req), now)
-    }
-
     fn reset(&mut self) {
         // Mechanical reset only: accumulated faults are physical damage
         // and survive, like a real device power cycle.
         self.inner.reset();
-    }
-
-    fn position_bucket(&self, req: &Request) -> u64 {
-        self.inner.position_bucket(&self.remap.effective(req))
-    }
-
-    fn current_bucket(&self) -> u64 {
-        self.inner.current_bucket()
-    }
-
-    fn min_position_time_at_bucket_distance(&self, distance: u64) -> f64 {
-        self.inner.min_position_time_at_bucket_distance(distance)
-    }
-
-    fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
-        self.inner.bucket_position_time_floor(bucket)
     }
 
     fn phase_energy(&self, breakdown: &ServiceBreakdown) -> PhaseEnergy {

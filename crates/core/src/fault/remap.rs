@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use storage_sim::{Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 /// How defective logical sectors are redirected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +139,13 @@ impl<D: StorageDevice> RemappedDevice<D> {
     }
 }
 
+impl<D: StorageDevice> PositionOracle for RemappedDevice<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        let eff = self.effective(req);
+        self.inner.position_time(&eff, now)
+    }
+}
+
 impl<D: StorageDevice> StorageDevice for RemappedDevice<D> {
     fn name(&self) -> &str {
         self.inner.name()
@@ -151,11 +158,6 @@ impl<D: StorageDevice> StorageDevice for RemappedDevice<D> {
     fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown {
         let eff = self.effective(req);
         self.inner.service(&eff, now)
-    }
-
-    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-        let eff = self.effective(req);
-        self.inner.position_time(&eff, now)
     }
 
     fn reset(&mut self) {

@@ -1,7 +1,7 @@
 //! A power-managed device wrapper: timeout-to-sleep with energy and
 //! latency accounting.
 
-use storage_sim::{Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 use super::PowerProfile;
 
@@ -122,6 +122,12 @@ impl<D: StorageDevice> PowerManagedDevice<D> {
     }
 }
 
+impl<D: StorageDevice> PositionOracle for PowerManagedDevice<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        self.inner.position_time(req, now)
+    }
+}
+
 impl<D: StorageDevice> StorageDevice for PowerManagedDevice<D> {
     fn name(&self) -> &str {
         self.inner.name()
@@ -150,10 +156,6 @@ impl<D: StorageDevice> StorageDevice for PowerManagedDevice<D> {
         self.stats.requests += 1;
         self.last_busy_end = now.as_secs() + b.total();
         b
-    }
-
-    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-        self.inner.position_time(req, now)
     }
 
     fn reset(&mut self) {

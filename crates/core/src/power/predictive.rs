@@ -10,7 +10,7 @@
 //! break-even); on a disk it earns its keep by skipping short gaps —
 //! demonstrating exactly why the MEMS policy needs no prediction at all.
 
-use storage_sim::{Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 use super::managed::PowerStats;
 use super::PowerProfile;
@@ -90,6 +90,12 @@ impl<D: StorageDevice> PredictiveDevice<D> {
     }
 }
 
+impl<D: StorageDevice> PositionOracle for PredictiveDevice<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        self.inner.position_time(req, now)
+    }
+}
+
 impl<D: StorageDevice> StorageDevice for PredictiveDevice<D> {
     fn name(&self) -> &str {
         self.inner.name()
@@ -122,10 +128,6 @@ impl<D: StorageDevice> StorageDevice for PredictiveDevice<D> {
         self.stats.requests += 1;
         self.last_busy_end = now.as_secs() + b.total();
         b
-    }
-
-    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-        self.inner.position_time(req, now)
     }
 
     fn reset(&mut self) {

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use storage_sim::{Request, SchedCounters, Scheduler, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, SchedCounters, Scheduler, SimTime};
 
 /// Ascending-LBN cyclical sweep scheduler.
 ///
@@ -51,7 +51,7 @@ impl Scheduler for ClookScheduler {
         self.pending.insert((req.lbn, req.id), req);
     }
 
-    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+    fn pick<O: PositionOracle + ?Sized>(&mut self, _device: &O, _now: SimTime) -> Option<Request> {
         if self.pending.is_empty() {
             return None;
         }

@@ -32,7 +32,7 @@ pub use vscan::VrScheduler;
 
 pub use storage_sim::FifoScheduler;
 
-use storage_sim::Scheduler;
+use storage_sim::DynScheduler;
 
 /// The scheduling algorithms evaluated in the paper's figures, in the
 /// order the figures list them.
@@ -67,8 +67,10 @@ impl Algorithm {
         }
     }
 
-    /// Instantiates a fresh scheduler for the algorithm.
-    pub fn build(self) -> Box<dyn Scheduler> {
+    /// Instantiates a fresh scheduler for the algorithm, type-erased
+    /// behind the [`DynScheduler`] shim (the box itself implements
+    /// `Scheduler`, so it drops into any generic driver).
+    pub fn build(self) -> Box<dyn DynScheduler> {
         match self {
             Algorithm::Fcfs => Box::new(FifoScheduler::new()),
             Algorithm::SstfLbn => Box::new(SstfScheduler::new()),

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, Scheduler, SimTime};
 
 /// Bidirectional elevator (LOOK).
 ///
@@ -60,7 +60,7 @@ impl Scheduler for LookScheduler {
         self.pending.insert((req.lbn, req.id), req);
     }
 
-    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+    fn pick<O: PositionOracle + ?Sized>(&mut self, _device: &O, _now: SimTime) -> Option<Request> {
         if self.pending.is_empty() {
             return None;
         }
@@ -125,7 +125,7 @@ impl Scheduler for FscanScheduler {
         self.frozen.push(req);
     }
 
-    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+    fn pick<O: PositionOracle + ?Sized>(&mut self, _device: &O, _now: SimTime) -> Option<Request> {
         if self.active.is_empty() {
             // Promote the frozen queue into a new batch.
             for req in self.frozen.drain(..) {

@@ -19,10 +19,10 @@
 //! head, alternating sides nearest-first. Two sound lower bounds terminate
 //! the scan early:
 //!
-//! * [`StorageDevice::min_position_time_at_bucket_distance`] — once the
+//! * [`PositionOracle::min_position_time_at_bucket_distance`] — once the
 //!   floor for the next ring exceeds the best exact positioning time
 //!   found, no farther request can win and the scan stops;
-//! * [`StorageDevice::bucket_position_time_floor`] — a whole bucket is
+//! * [`PositionOracle::bucket_position_time_floor`] — a whole bucket is
 //!   skipped when its own floor (for MEMS, the exact X-seek + settle)
 //!   cannot beat the incumbent.
 //!
@@ -42,11 +42,16 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
 
-use storage_sim::{Request, SchedCounters, Scheduler, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, SchedCounters, Scheduler, SimTime};
 
 /// Pending requests indexed by positioning bucket; entries carry the
 /// enqueue sequence number that breaks exact-tie scores.
 type BucketIndex = BTreeMap<u64, Vec<(u64, Request)>>;
+
+/// How many emptied bucket `Vec`s a scheduler keeps around for reuse.
+/// At steady state a bucket drains and refills once per handful of picks;
+/// recycling its allocation removes a malloc/free pair from every cycle.
+const SPARE_BUCKET_CAP: usize = 64;
 
 /// Expands the bucket index outward from the device's current bucket and
 /// returns the `(bucket, index-within-bucket)` of the request minimizing
@@ -55,9 +60,9 @@ type BucketIndex = BTreeMap<u64, Vec<(u64, Request)>>;
 /// `credit_bound` is the largest amount by which any pending request's
 /// score may undercut its positioning-time floor (0 for plain SPTF,
 /// `weight × oldest wait` for the aged variant).
-fn pruned_best<F: Fn(&Request, f64) -> f64>(
+fn pruned_best<O: PositionOracle + ?Sized, F: Fn(&Request, f64) -> f64>(
     buckets: &BucketIndex,
-    device: &dyn StorageDevice,
+    device: &O,
     now: SimTime,
     score: F,
     credit_bound: f64,
@@ -123,19 +128,46 @@ fn pruned_best<F: Fn(&Request, f64) -> f64>(
 }
 
 /// Removes and returns entry `idx` of `bucket`, dropping the bucket when
-/// it empties. Order within the bucket (enqueue order) is preserved.
-fn take_entry(buckets: &mut BucketIndex, bucket: u64, idx: usize) -> (u64, Request) {
+/// it empties (its allocation is recycled into `spare`). Order within the
+/// bucket (enqueue order) is preserved.
+fn take_entry(
+    buckets: &mut BucketIndex,
+    spare: &mut Vec<Vec<(u64, Request)>>,
+    bucket: u64,
+    idx: usize,
+) -> (u64, Request) {
     let entries = buckets.get_mut(&bucket).expect("bucket exists");
     let entry = entries.remove(idx);
     if entries.is_empty() {
-        buckets.remove(&bucket);
+        let emptied = buckets.remove(&bucket).expect("bucket exists");
+        if spare.len() < SPARE_BUCKET_CAP {
+            spare.push(emptied);
+        }
     }
     entry
 }
 
+/// Moves the arrivals of `inbox` into their positioning buckets, drawing
+/// recycled `Vec`s from `spare` for buckets that spring into existence.
+/// Sequence numbers grow monotonically, so appending keeps each bucket
+/// sorted by enqueue order.
+fn index_arrivals<O: PositionOracle + ?Sized>(
+    inbox: &mut Vec<(u64, Request)>,
+    buckets: &mut BucketIndex,
+    spare: &mut Vec<Vec<(u64, Request)>>,
+    device: &O,
+) {
+    for (seq, req) in inbox.drain(..) {
+        buckets
+            .entry(device.position_bucket(&req))
+            .or_insert_with(|| spare.pop().unwrap_or_default())
+            .push((seq, req));
+    }
+}
+
 /// Greedy shortest-positioning-time scheduler with a pruned pick.
 ///
-/// Each pick queries [`StorageDevice::position_time`] — the same
+/// Each pick queries [`PositionOracle::position_time`] — the same
 /// full-knowledge oracle the paper's simulator gives its SPTF — but only
 /// for candidates the bucket bounds cannot exclude; the result is always
 /// identical to the full scan.
@@ -161,6 +193,8 @@ pub struct SptfScheduler {
     /// `enqueue` does not see).
     inbox: Vec<(u64, Request)>,
     buckets: BucketIndex,
+    /// Recycled allocations of emptied buckets.
+    spare: Vec<Vec<(u64, Request)>>,
     len: usize,
     next_seq: u64,
     counters: SchedCounters,
@@ -170,17 +204,6 @@ impl SptfScheduler {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    fn index_arrivals(&mut self, device: &dyn StorageDevice) {
-        for (seq, req) in self.inbox.drain(..) {
-            // Sequence numbers grow monotonically, so appending keeps each
-            // bucket sorted by enqueue order.
-            self.buckets
-                .entry(device.position_bucket(&req))
-                .or_default()
-                .push((seq, req));
-        }
     }
 }
 
@@ -195,8 +218,8 @@ impl Scheduler for SptfScheduler {
         self.len += 1;
     }
 
-    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
-        self.index_arrivals(device);
+    fn pick<O: PositionOracle + ?Sized>(&mut self, device: &O, now: SimTime) -> Option<Request> {
+        index_arrivals(&mut self.inbox, &mut self.buckets, &mut self.spare, device);
         let (bucket, idx) = pruned_best(
             &self.buckets,
             device,
@@ -207,7 +230,7 @@ impl Scheduler for SptfScheduler {
         )?;
         self.counters.picks += 1;
         self.len -= 1;
-        Some(take_entry(&mut self.buckets, bucket, idx).1)
+        Some(take_entry(&mut self.buckets, &mut self.spare, bucket, idx).1)
     }
 
     fn len(&self) -> usize {
@@ -245,7 +268,7 @@ impl Scheduler for NaiveSptfScheduler {
         self.pending.push(req);
     }
 
-    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
+    fn pick<O: PositionOracle + ?Sized>(&mut self, device: &O, now: SimTime) -> Option<Request> {
         if self.pending.is_empty() {
             return None;
         }
@@ -287,6 +310,8 @@ impl Scheduler for NaiveSptfScheduler {
 pub struct AgedSptfScheduler {
     inbox: Vec<(u64, Request)>,
     buckets: BucketIndex,
+    /// Recycled allocations of emptied buckets.
+    spare: Vec<Vec<(u64, Request)>>,
     /// `(arrival, seq)` of every pending request; the first entry gives
     /// the oldest wait, hence the largest possible age credit.
     arrivals: BTreeSet<(SimTime, u64)>,
@@ -308,21 +333,13 @@ impl AgedSptfScheduler {
         AgedSptfScheduler {
             inbox: Vec::new(),
             buckets: BTreeMap::new(),
+            spare: Vec::new(),
             arrivals: BTreeSet::new(),
             len: 0,
             next_seq: 0,
             weight,
             name: format!("SPTF-aged({weight})"),
             counters: SchedCounters::default(),
-        }
-    }
-
-    fn index_arrivals(&mut self, device: &dyn StorageDevice) {
-        for (seq, req) in self.inbox.drain(..) {
-            self.buckets
-                .entry(device.position_bucket(&req))
-                .or_default()
-                .push((seq, req));
         }
     }
 }
@@ -339,8 +356,8 @@ impl Scheduler for AgedSptfScheduler {
         self.len += 1;
     }
 
-    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
-        self.index_arrivals(device);
+    fn pick<O: PositionOracle + ?Sized>(&mut self, device: &O, now: SimTime) -> Option<Request> {
+        index_arrivals(&mut self.inbox, &mut self.buckets, &mut self.spare, device);
         let credit_bound = match self.arrivals.first() {
             Some(&(oldest, _)) => self.weight * (now - oldest).as_secs().max(0.0),
             None => return None,
@@ -359,7 +376,7 @@ impl Scheduler for AgedSptfScheduler {
             &mut self.counters,
         )?;
         self.counters.picks += 1;
-        let (seq, req) = take_entry(&mut self.buckets, bucket, idx);
+        let (seq, req) = take_entry(&mut self.buckets, &mut self.spare, bucket, idx);
         self.arrivals.remove(&(req.arrival, seq));
         self.len -= 1;
         Some(req)
@@ -410,7 +427,7 @@ impl Scheduler for NaiveAgedSptfScheduler {
         self.pending.push(req);
     }
 
-    fn pick(&mut self, device: &dyn StorageDevice, now: SimTime) -> Option<Request> {
+    fn pick<O: PositionOracle + ?Sized>(&mut self, device: &O, now: SimTime) -> Option<Request> {
         if self.pending.is_empty() {
             return None;
         }
@@ -442,7 +459,7 @@ impl Scheduler for NaiveAgedSptfScheduler {
 mod tests {
     use super::*;
     use mems_device::{MemsDevice, MemsParams};
-    use storage_sim::{ConstantDevice, IoKind};
+    use storage_sim::{ConstantDevice, IoKind, StorageDevice};
 
     fn req(id: u64, lbn: u64) -> Request {
         Request::new(id, SimTime::ZERO, lbn, 8, IoKind::Read)
@@ -546,7 +563,6 @@ mod tests {
         seed: u64,
         use_table: bool,
     ) {
-        use storage_sim::StorageDevice as _;
         let mut dev_p = MemsDevice::new(MemsParams::default()).with_seek_table(use_table);
         let mut dev_n = MemsDevice::new(MemsParams::default()).with_seek_table(use_table);
         let mut next_lbn = lbn_stream(seed, dev_p.capacity_lbns());

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use storage_sim::{Request, SchedCounters, Scheduler, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, SchedCounters, Scheduler, SimTime};
 
 /// Greedy nearest-LBN scheduler.
 ///
@@ -52,7 +52,7 @@ impl Scheduler for SstfScheduler {
         self.pending.insert((req.lbn, req.id), req);
     }
 
-    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+    fn pick<O: PositionOracle + ?Sized>(&mut self, _device: &O, _now: SimTime) -> Option<Request> {
         // Nearest pending LBN to the head: the last entry at-or-below and
         // the first entry above; whichever is closer wins (ties go down,
         // matching classic SSTF implementations).

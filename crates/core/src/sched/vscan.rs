@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use storage_sim::{Request, Scheduler, SimTime, StorageDevice};
+use storage_sim::{PositionOracle, Request, Scheduler, SimTime};
 
 /// The V(R) scheduler.
 ///
@@ -68,7 +68,7 @@ impl Scheduler for VrScheduler {
         self.pending.insert((req.lbn, req.id), req);
     }
 
-    fn pick(&mut self, _device: &dyn StorageDevice, _now: SimTime) -> Option<Request> {
+    fn pick<O: PositionOracle + ?Sized>(&mut self, _device: &O, _now: SimTime) -> Option<Request> {
         if self.pending.is_empty() {
             return None;
         }

@@ -161,9 +161,13 @@ proptest! {
             sstf.enqueue(r);
             clook.enqueue(r);
         }
-        for s in [&mut look as &mut dyn Scheduler, &mut sstf, &mut clook] {
+        for s in [
+            &mut look as &mut dyn storage_sim::DynScheduler,
+            &mut sstf,
+            &mut clook,
+        ] {
             let mut count = 0;
-            while s.pick(&dev, SimTime::ZERO).is_some() {
+            while s.pick_dyn(&dev, SimTime::ZERO).is_some() {
                 count += 1;
             }
             prop_assert_eq!(count, lbns.len());

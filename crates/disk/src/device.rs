@@ -7,7 +7,9 @@
 //! the key contrast with the MEMS sled, §2.4.8), zoned transfer rates, and
 //! head/cylinder switches with skewed layout during multi-track transfers.
 
-use storage_sim::{IoKind, PhaseEnergy, Request, ServiceBreakdown, SimTime, StorageDevice};
+use storage_sim::{
+    IoKind, PhaseEnergy, PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice,
+};
 
 use crate::geometry::DiskMapper;
 use crate::params::DiskParams;
@@ -151,34 +153,7 @@ impl DiskDevice {
     }
 }
 
-impl StorageDevice for DiskDevice {
-    fn name(&self) -> &str {
-        &self.params().name
-    }
-
-    fn capacity_lbns(&self) -> u64 {
-        self.params().total_sectors()
-    }
-
-    fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown {
-        assert!(
-            req.end_lbn() <= self.capacity_lbns(),
-            "request beyond disk capacity"
-        );
-        let (arm, latency) = self.positioning(req, now);
-        let (transfer, end_cyl, end_head) = self.transfer(req);
-        self.cylinder = end_cyl;
-        self.head = end_head;
-        ServiceBreakdown {
-            positioning: arm + latency,
-            seek_x: arm,
-            rotation: latency,
-            transfer,
-            overhead: self.params().overhead,
-            ..ServiceBreakdown::default()
-        }
-    }
-
+impl PositionOracle for DiskDevice {
     fn position_time(&self, req: &Request, now: SimTime) -> f64 {
         let (arm, latency) = self.positioning(req, now);
         arm + latency
@@ -205,6 +180,35 @@ impl StorageDevice for DiskDevice {
             .cylinder
             .abs_diff(u32::try_from(bucket).unwrap_or(u32::MAX));
         self.curve.time(d)
+    }
+}
+
+impl StorageDevice for DiskDevice {
+    fn name(&self) -> &str {
+        &self.params().name
+    }
+
+    fn capacity_lbns(&self) -> u64 {
+        self.params().total_sectors()
+    }
+
+    fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown {
+        assert!(
+            req.end_lbn() <= self.capacity_lbns(),
+            "request beyond disk capacity"
+        );
+        let (arm, latency) = self.positioning(req, now);
+        let (transfer, end_cyl, end_head) = self.transfer(req);
+        self.cylinder = end_cyl;
+        self.head = end_head;
+        ServiceBreakdown {
+            positioning: arm + latency,
+            seek_x: arm,
+            rotation: latency,
+            transfer,
+            overhead: self.params().overhead,
+            ..ServiceBreakdown::default()
+        }
     }
 
     /// Disks draw a single active power while servicing (§6.3), so the

@@ -2,7 +2,7 @@
 
 use atlas_disk::{DiskDevice, DiskMapper, DiskParams, SeekCurve};
 use proptest::prelude::*;
-use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+use storage_sim::{IoKind, PositionOracle, Request, SimTime, StorageDevice};
 
 proptest! {
     /// LBN → address → LBN is the identity across all zones.

@@ -7,13 +7,16 @@
 //! at the fixed access velocity, and switch tracks/cylinders with
 //! turnarounds whose cost depends on sled position and direction.
 
-use storage_sim::{PhaseEnergy, Request, ServiceBreakdown, SimTime, StorageDevice};
+use std::sync::Arc;
+
+use storage_sim::{PhaseEnergy, PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
 
 use crate::geometry::{Mapper, Segment};
 use crate::kinematics::SpringSled;
 use crate::params::{MemsGeometry, MemsParams};
 use crate::power::MemsEnergyModel;
 use crate::seek_table::{SeekTable, SeekTableStats, YKey};
+use crate::surface::SeekSurface;
 
 /// Tolerance for deciding a continuous coordinate sits exactly on the
 /// discrete media grid (cylinder center / row boundary / ±access velocity).
@@ -65,6 +68,7 @@ pub struct MemsDevice {
     name: String,
     seek_table: SeekTable,
     use_seek_table: bool,
+    surface: Option<Arc<SeekSurface>>,
     energy_model: MemsEnergyModel,
 }
 
@@ -97,6 +101,7 @@ impl MemsDevice {
             name,
             seek_table: SeekTable::new(),
             use_seek_table: true,
+            surface: None,
             energy_model: MemsEnergyModel::default(),
         }
     }
@@ -122,6 +127,29 @@ impl MemsDevice {
             self.seek_table.clear();
         }
         self
+    }
+
+    /// Attaches a prebuilt, shared [`SeekSurface`]: on-grid positioning
+    /// queries become array lookups instead of memo-table probes (off-grid
+    /// states still run the direct solver). The surface takes precedence
+    /// over the memo table regardless of [`MemsDevice::with_seek_table`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the surface was built for different parameters.
+    pub fn with_seek_surface(mut self, surface: Arc<SeekSurface>) -> Self {
+        assert_eq!(
+            surface.params(),
+            &self.params,
+            "seek surface was solved for different device parameters"
+        );
+        self.surface = Some(surface);
+        self
+    }
+
+    /// The attached shared seek surface, if any.
+    pub fn seek_surface(&self) -> Option<&Arc<SeekSurface>> {
+        self.surface.as_ref()
     }
 
     /// Hit/miss counters of the seek-time memo table.
@@ -161,15 +189,18 @@ impl MemsDevice {
     }
 
     /// X rest-seek time from `from_x` to the center of `to_cyl`, served
-    /// from the memo table when the start lies exactly on a cylinder
-    /// center (always true after the first completed request).
+    /// from the seek surface or memo table when the start lies exactly on a
+    /// cylinder center (always true after the first completed request).
     fn x_seek_time(&self, from_x: f64, to_cyl: u32, x_target: f64) -> f64 {
         let solve = || self.sled_x.rest_seek_time(from_x, x_target);
-        if !self.use_seek_table {
+        if !self.use_seek_table && self.surface.is_none() {
             return solve();
         }
         match self.quantize_cylinder(from_x) {
             Some(from_cyl) => {
+                if let Some(surface) = &self.surface {
+                    return surface.x_seek(from_cyl, to_cyl);
+                }
                 self.seek_table
                     .x_seek(from_cyl, to_cyl, self.geom.cylinders as usize, solve)
             }
@@ -182,7 +213,7 @@ impl MemsDevice {
     /// start is exactly on a row boundary at a grid velocity.
     fn y_seek_time(&self, from: SledState, to_boundary: u32, y_target: f64, v_target: f64) -> f64 {
         let solve = || self.sled_y.seek_time(from.y, from.vy, y_target, v_target);
-        if !self.use_seek_table {
+        if !self.use_seek_table && self.surface.is_none() {
             return solve();
         }
         match self.quantize_y(from.y, from.vy) {
@@ -193,6 +224,9 @@ impl MemsDevice {
                     to_boundary: to_boundary as u16,
                     to_dir: if v_target >= 0.0 { 1 } else { -1 },
                 };
+                if let Some(surface) = &self.surface {
+                    return surface.y_seek(key);
+                }
                 self.seek_table.y_seek(key, solve)
             }
             None => solve(),
@@ -363,27 +397,9 @@ struct SegmentPlan {
     end_state: SledState,
 }
 
-impl StorageDevice for MemsDevice {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn capacity_lbns(&self) -> u64 {
-        self.geom.total_sectors()
-    }
-
-    fn service(&mut self, req: &Request, _now: SimTime) -> ServiceBreakdown {
-        let (b, state) = self.service_from(self.state, req);
-        self.state = state;
-        b
-    }
-
+impl PositionOracle for MemsDevice {
     fn position_time(&self, req: &Request, _now: SimTime) -> f64 {
         self.positioning_only(self.state, req)
-    }
-
-    fn reset(&mut self) {
-        self.state = SledState::CENTERED;
     }
 
     fn position_bucket(&self, req: &Request) -> u64 {
@@ -400,6 +416,26 @@ impl StorageDevice for MemsDevice {
 
     fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
         self.cylinder_positioning_floor(bucket as u32)
+    }
+}
+
+impl StorageDevice for MemsDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity_lbns(&self) -> u64 {
+        self.geom.total_sectors()
+    }
+
+    fn service(&mut self, req: &Request, _now: SimTime) -> ServiceBreakdown {
+        let (b, state) = self.service_from(self.state, req);
+        self.state = state;
+        b
+    }
+
+    fn reset(&mut self) {
+        self.state = SledState::CENTERED;
     }
 
     /// Splits [`MemsEnergyModel::request_energy`] across the request's
@@ -639,6 +675,41 @@ mod tests {
         let stats = fast.seek_table_stats();
         assert!(stats.hits > 0, "table never hit: {stats:?}");
         assert_eq!(slow.seek_table_stats(), Default::default());
+    }
+
+    #[test]
+    fn seek_surface_matches_memo_table_bitwise() {
+        // A surface-backed device must replay a request stream *exactly* —
+        // bit for bit — like a memo-backed one: both serve on-grid queries
+        // from solves of the same mapper floats and fall back to the same
+        // direct solver off-grid.
+        use crate::surface::SeekSurface;
+        use std::sync::Arc;
+
+        let params = MemsParams::default();
+        let surface = Arc::new(SeekSurface::build(&params).expect("paper device fits the guard"));
+        let mut surfaced = device().with_seek_surface(surface);
+        let mut memoized = device();
+        let total = memoized.capacity_lbns();
+        let mut lbn = 98_765u64;
+        for _ in 0..3000 {
+            let r = req(lbn_walk(&mut lbn, total), 8);
+            assert_eq!(
+                surfaced.position_time(&r, SimTime::ZERO).to_bits(),
+                memoized.position_time(&r, SimTime::ZERO).to_bits(),
+                "estimate diverged"
+            );
+            let b_surf = surfaced.service(&r, SimTime::ZERO);
+            let b_memo = memoized.service(&r, SimTime::ZERO);
+            assert_eq!(b_surf, b_memo, "service breakdown diverged");
+            assert_eq!(
+                surfaced.state(),
+                memoized.state(),
+                "mechanical state diverged"
+            );
+        }
+        // The surface bypasses the memo table entirely.
+        assert_eq!(surfaced.seek_table_stats(), Default::default());
     }
 
     #[test]

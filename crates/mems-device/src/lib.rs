@@ -42,6 +42,7 @@ pub mod kinematics;
 pub mod params;
 pub mod power;
 pub mod seek_table;
+pub mod surface;
 
 pub use device::{MemsDevice, SledState};
 pub use geometry::{Mapper, PhysAddr, Segment};
@@ -50,3 +51,4 @@ pub use kinematics::SpringSled;
 pub use params::{MemsGeometry, MemsParams};
 pub use power::MemsEnergyModel;
 pub use seek_table::{SeekTable, SeekTableStats};
+pub use surface::SeekSurface;

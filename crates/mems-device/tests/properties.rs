@@ -1,11 +1,32 @@
 //! Property-based tests for the MEMS device model's core invariants.
 
-use mems_device::{Mapper, MemsDevice, MemsParams, SledState, SpringSled};
+use std::sync::{Arc, OnceLock};
+
+use mems_device::seek_table::YKey;
+use mems_device::{Mapper, MemsDevice, MemsParams, SeekSurface, SledState, SpringSled};
 use proptest::prelude::*;
-use storage_sim::{IoKind, Request, SimTime};
+use storage_sim::{IoKind, PositionOracle, Request, SimTime, StorageDevice};
 
 fn paper_sled() -> SpringSled {
     SpringSled::from_spring_factor(803.6, 0.75, 50e-6)
+}
+
+/// A geometrically valid but small device (200 cylinders, 2 rows per
+/// track) so surface equivalence checks stay fast.
+fn small_params() -> MemsParams {
+    MemsParams {
+        bit_width: 500e-9,
+        per_tip_rate: 56e3, // keep the access velocity at 28 mm/s
+        ..MemsParams::default()
+    }
+}
+
+/// One shared surface for every proptest case (built once per process).
+fn small_surface() -> Arc<SeekSurface> {
+    static SURFACE: OnceLock<Arc<SeekSurface>> = OnceLock::new();
+    Arc::clone(SURFACE.get_or_init(|| {
+        Arc::new(SeekSurface::build(&small_params()).expect("small device fits the guard"))
+    }))
 }
 
 proptest! {
@@ -145,5 +166,78 @@ proptest! {
         let (bs, _) = d.service_from(SledState::CENTERED, &small);
         let (bl, _) = d.service_from(SledState::CENTERED, &large);
         prop_assert!(bl.transfer >= bs.transfer - 1e-12);
+    }
+
+    /// The materialized seek surface agrees bit-for-bit with the
+    /// closed-form solver on arbitrary on-grid X pairs and Y keys — the
+    /// property that lets the surface replace per-query solving without
+    /// perturbing a single simulation float.
+    #[test]
+    fn surface_matches_direct_solver_on_grid(
+        from_cyl in 0u32..200,
+        to_cyl in 0u32..200,
+        from_b in 0u16..3,
+        from_dir_sel in 0u8..3,
+        to_b in 0u16..3,
+        to_up in prop::bool::ANY,
+    ) {
+        let params = small_params();
+        let s = small_surface();
+        let mapper = Mapper::new(&params);
+        let sled = SpringSled::from_spring_factor(
+            params.accel,
+            params.spring_factor,
+            params.half_mobility(),
+        );
+        let x_direct = sled.rest_seek_time(
+            mapper.x_of_cylinder(from_cyl),
+            mapper.x_of_cylinder(to_cyl),
+        );
+        prop_assert_eq!(s.x_seek(from_cyl, to_cyl).to_bits(), x_direct.to_bits());
+
+        let v = params.access_velocity();
+        let from_dir = from_dir_sel as i8 - 1;
+        let to_dir: i8 = if to_up { 1 } else { -1 };
+        let key = YKey { from_boundary: from_b, from_dir, to_boundary: to_b, to_dir };
+        let y_direct = sled.seek_time(
+            mapper.y_of_row_start(u32::from(from_b)),
+            f64::from(from_dir) * v,
+            mapper.y_of_row_start(u32::from(to_b)),
+            f64::from(to_dir) * v,
+        );
+        prop_assert_eq!(s.y_seek(key).to_bits(), y_direct.to_bits());
+    }
+
+    /// A surface-backed device tracks a memo-table device bit-for-bit over
+    /// arbitrary request streams: positioning estimates, full service
+    /// breakdowns, and the mechanical state all stay identical — including
+    /// the off-grid centered state both start from, which must bypass the
+    /// surface and memo table the same way.
+    #[test]
+    fn surfaced_device_tracks_memo_device(
+        raws in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let params = small_params();
+        let mut memo = MemsDevice::new(params.clone()).with_seek_table(true);
+        let mut surfaced = MemsDevice::new(params.clone())
+            .with_seek_table(true)
+            .with_seek_surface(small_surface());
+        let capacity = memo.capacity_lbns();
+        for (i, raw) in raws.iter().enumerate() {
+            let req = Request::new(
+                i as u64,
+                SimTime::ZERO,
+                raw % (capacity - 8),
+                8,
+                IoKind::Read,
+            );
+            let est_m = memo.position_time(&req, SimTime::ZERO);
+            let est_s = surfaced.position_time(&req, SimTime::ZERO);
+            prop_assert_eq!(est_m.to_bits(), est_s.to_bits(), "estimate for {:?}", req);
+            let b_m = memo.service(&req, SimTime::ZERO);
+            let b_s = surfaced.service(&req, SimTime::ZERO);
+            prop_assert_eq!(format!("{:?}", b_m), format!("{:?}", b_s));
+            prop_assert_eq!(format!("{:?}", memo.state()), format!("{:?}", surfaced.state()));
+        }
     }
 }

@@ -4,8 +4,8 @@
 //! current mechanical state and a request, it returns how long the request
 //! takes, broken into the paper's components (positioning, transfer,
 //! overhead), and advances its state. Schedulers that need positioning
-//! estimates (SPTF, §4.1) use [`StorageDevice::position_time`], which must
-//! not mutate state.
+//! estimates (SPTF, §4.1) use the read-only [`PositionOracle`] supertrait,
+//! which must not mutate state.
 
 use crate::fault::FaultKind;
 use crate::request::Request;
@@ -109,24 +109,17 @@ pub enum PowerState {
     Standby,
 }
 
-/// A stateful storage device service-time model.
-pub trait StorageDevice {
-    /// Human-readable model name, e.g. `"MEMS (default)"`.
-    fn name(&self) -> &str;
-
-    /// Number of addressable 512-byte logical blocks.
-    fn capacity_lbns(&self) -> u64;
-
-    /// Services `req` starting at `now`, advancing mechanical state, and
-    /// returns the time decomposition.
-    fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown;
-
+/// The read-only positioning oracle a scheduler consults while picking.
+///
+/// Split out of [`StorageDevice`] so `Scheduler::pick` can be generic over
+/// the concrete device (fully monomorphized — no vtable hop per candidate
+/// query on the SPTF hot path) while the report/tracer plumbing that needs
+/// object safety keeps a `&dyn PositionOracle` view. Every method is
+/// `&self`: consulting the oracle must never mutate mechanical state.
+pub trait PositionOracle {
     /// Estimates the positioning (pre-transfer) delay `req` would incur if
     /// started at `now`, without mutating state. This is SPTF's oracle.
     fn position_time(&self, req: &Request, now: SimTime) -> f64;
-
-    /// Restores the device to its initial mechanical state.
-    fn reset(&mut self);
 
     /// Positioning-locality bucket of `req` — a coarse key (the cylinder,
     /// for mechanical devices) such that requests in nearby buckets tend to
@@ -144,9 +137,9 @@ pub trait StorageDevice {
         0
     }
 
-    /// Lower bound on [`StorageDevice::position_time`] for **any** request
+    /// Lower bound on [`PositionOracle::position_time`] for **any** request
     /// whose bucket is at least `distance` buckets from
-    /// [`StorageDevice::current_bucket`]. Implementations must guarantee
+    /// [`PositionOracle::current_bucket`]. Implementations must guarantee
     /// the bound is sound and nondecreasing in `distance`; the pruned SPTF
     /// scan stops expanding once this exceeds the best candidate found.
     /// The default (0) never prunes.
@@ -155,7 +148,7 @@ pub trait StorageDevice {
         0.0
     }
 
-    /// Lower bound on [`StorageDevice::position_time`] for any request in
+    /// Lower bound on [`PositionOracle::position_time`] for any request in
     /// `bucket`, given the current mechanical state. Sharper than the
     /// distance bound (it may use the exact per-bucket seek time); used to
     /// skip whole buckets. The default (0) never skips.
@@ -163,6 +156,48 @@ pub trait StorageDevice {
         let _ = bucket;
         0.0
     }
+}
+
+/// References are oracles too: this lets `&dyn PositionOracle` (and `&D`)
+/// satisfy the generic `O: PositionOracle + ?Sized` bound on
+/// `Scheduler::pick`, which is what keeps the dyn-compat [`crate::sched::DynScheduler`]
+/// shim expressible on top of the generic trait.
+impl<T: PositionOracle + ?Sized> PositionOracle for &T {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        (**self).position_time(req, now)
+    }
+
+    fn position_bucket(&self, req: &Request) -> u64 {
+        (**self).position_bucket(req)
+    }
+
+    fn current_bucket(&self) -> u64 {
+        (**self).current_bucket()
+    }
+
+    fn min_position_time_at_bucket_distance(&self, distance: u64) -> f64 {
+        (**self).min_position_time_at_bucket_distance(distance)
+    }
+
+    fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
+        (**self).bucket_position_time_floor(bucket)
+    }
+}
+
+/// A stateful storage device service-time model.
+pub trait StorageDevice: PositionOracle {
+    /// Human-readable model name, e.g. `"MEMS (default)"`.
+    fn name(&self) -> &str;
+
+    /// Number of addressable 512-byte logical blocks.
+    fn capacity_lbns(&self) -> u64;
+
+    /// Services `req` starting at `now`, advancing mechanical state, and
+    /// returns the time decomposition.
+    fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown;
+
+    /// Restores the device to its initial mechanical state.
+    fn reset(&mut self);
 
     /// Attributes the energy of a serviced request to its phases using the
     /// device's power model. Consumed by the observability layer; never
@@ -213,6 +248,12 @@ impl ConstantDevice {
     }
 }
 
+impl PositionOracle for ConstantDevice {
+    fn position_time(&self, _req: &Request, _now: SimTime) -> f64 {
+        0.0
+    }
+}
+
 impl StorageDevice for ConstantDevice {
     fn name(&self) -> &str {
         "constant"
@@ -227,10 +268,6 @@ impl StorageDevice for ConstantDevice {
             transfer: self.service_secs,
             ..ServiceBreakdown::default()
         }
-    }
-
-    fn position_time(&self, _req: &Request, _now: SimTime) -> f64 {
-        0.0
     }
 
     fn reset(&mut self) {}

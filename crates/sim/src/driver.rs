@@ -494,6 +494,11 @@ mod tests {
             inner: ConstantDevice,
             seen: Vec<(f64, FaultKind)>,
         }
+        impl crate::device::PositionOracle for Probe {
+            fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+                self.inner.position_time(req, now)
+            }
+        }
         impl StorageDevice for Probe {
             fn name(&self) -> &str {
                 self.inner.name()
@@ -503,9 +508,6 @@ mod tests {
             }
             fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown {
                 self.inner.service(req, now)
-            }
-            fn position_time(&self, req: &Request, now: SimTime) -> f64 {
-                self.inner.position_time(req, now)
             }
             fn reset(&mut self) {
                 self.inner.reset();

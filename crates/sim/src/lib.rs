@@ -53,13 +53,15 @@ pub mod tracer;
 pub mod workload;
 
 pub use closed::{closed_loop, ClosedReport, RequestSource};
-pub use device::{ConstantDevice, PhaseEnergy, PowerState, ServiceBreakdown, StorageDevice};
+pub use device::{
+    ConstantDevice, PhaseEnergy, PositionOracle, PowerState, ServiceBreakdown, StorageDevice,
+};
 pub use driver::{Driver, SimReport};
 pub use event::{Event, EventQueue};
 pub use fault::{FaultClock, FaultEvent, FaultKind};
 pub use profile::{ProfScope, Profiler, ScopeStats};
 pub use request::{Completion, IoKind, Request, RequestId};
-pub use sched::{FifoScheduler, SchedCounters, Scheduler};
+pub use sched::{DynScheduler, FifoScheduler, SchedCounters, Scheduler};
 pub use stats::{Histogram, LogHistogram, ResponseStats, Welford};
 pub use telemetry::{Telemetry, TracerPair, Window};
 pub use time::SimTime;
