@@ -8,7 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mems_device::{MemsDevice, MemsParams};
-use mems_os::sched::{Algorithm, ClookScheduler, NaiveSptfScheduler, SptfScheduler, SstfScheduler};
+use mems_os::sched::{
+    Algorithm, ClookScheduler, NaiveSptfScheduler, RescanSptfScheduler, SptfScheduler,
+    SstfScheduler,
+};
 use std::hint::black_box;
 use storage_sim::{IoKind, Request, Scheduler, SimTime};
 
@@ -74,17 +77,32 @@ fn bench_pick(c: &mut Criterion) {
     }
     group.finish();
 
-    // The devirtualization ladder: one SPTF drain, three dispatch tiers.
-    // "naive" re-scans the whole queue per pick, "pruned" is the bucket
-    // scan fully monomorphized against the device, and "dyn" is the same
-    // pruned scan behind the type-erased `DynScheduler` box (one virtual
-    // hop per pick plus a `&dyn PositionOracle` oracle).
+    // The devirtualization ladder: one SPTF drain, four dispatch tiers.
+    // "naive" re-scans the whole queue per pick, "rescan" is the pruned
+    // B-tree bucket scan re-scored on every pick, "pruned" is the
+    // incremental flat-index scan with the per-bucket winner cache (the
+    // drain never services the device, so the rest state is fixed and the
+    // cache fires — the scenario the incremental maintenance targets), and
+    // "dyn" is the same incremental scan behind the type-erased
+    // `DynScheduler` box (one virtual hop per pick plus a
+    // `&dyn PositionOracle` oracle).
     let mut group = c.benchmark_group("sptf_dispatch");
     for depth in [64usize, 256, 1024] {
         let reqs = requests(depth);
         group.bench_with_input(BenchmarkId::new("naive", depth), &reqs, |b, reqs| {
             b.iter(|| {
                 let mut s = NaiveSptfScheduler::new();
+                for r in reqs {
+                    s.enqueue(*r);
+                }
+                while let Some(r) = s.pick(&dev, SimTime::ZERO) {
+                    black_box(r);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rescan", depth), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut s = RescanSptfScheduler::new();
                 for r in reqs {
                     s.enqueue(*r);
                 }

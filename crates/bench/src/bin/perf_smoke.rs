@@ -19,6 +19,14 @@
 //!    sweep vs the shared-surface devices. All three configurations must
 //!    report identical mean response times (the fast paths are
 //!    pick-equivalent); only the wall clock moves.
+//! 6. **events_per_sec** — the engine-throughput headline: per-component
+//!    ns/op for the calendar event queue (vs the binary-heap reference)
+//!    and the request slab, then two whole cells measured serially on one
+//!    thread so the number is per-core by construction — the Fig. 6 SPTF
+//!    cell on the shared surface, and a high-rate FCFS cell that stresses
+//!    the raw event engine. Both report `simulated requests per core
+//!    second` (the gated CI metric) and confirm the pre-sized event queue
+//!    never restructured mid-run.
 //!
 //! Run from the workspace root: `cargo run --release -p mems-bench --bin
 //! perf_smoke` (pass a request count to override the default 4000).
@@ -30,7 +38,8 @@ use mems_bench::{replicated_point, shared_seek_surface, surfaced_mems_device};
 use mems_device::{MemsDevice, MemsParams};
 use mems_os::sched::{Algorithm, NaiveSptfScheduler, SptfScheduler};
 use storage_sim::{
-    Driver, DynScheduler, IoKind, PositionOracle, Request, Scheduler, SimTime, StorageDevice,
+    BinaryHeapEventQueue, Driver, DynScheduler, EventQueue, FifoScheduler, IoKind, PositionOracle,
+    Request, Scheduler, SimQueue, SimTime, Slab, StorageDevice,
 };
 use storage_trace::RandomWorkload;
 
@@ -44,6 +53,22 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let start = Instant::now();
     let r = f();
     (r, start.elapsed().as_secs_f64())
+}
+
+/// Best-of-`reps` wall clock for a deterministic measurement: every
+/// repetition computes the identical result (the simulator is
+/// deterministic), so the minimum is the least-noisy estimate of the real
+/// cost on a shared host.
+fn timed_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let (mut best_r, mut best_secs) = timed(&mut f);
+    for _ in 1..reps {
+        let (r, secs) = timed(&mut f);
+        if secs < best_secs {
+            best_secs = secs;
+            best_r = r;
+        }
+    }
+    (best_r, best_secs)
 }
 
 /// Parks a device on-grid (one request serviced), as in steady state.
@@ -99,6 +124,91 @@ fn time_drain<S: Scheduler>(make: impl Fn() -> S, dev: &MemsDevice, depth: usize
         }
     });
     secs * 1e6 / (rounds * depth) as f64
+}
+
+/// ns per push+pop pair at a steady pending population: the queue holds
+/// `pending` events, each iteration pushes one at the tail and pops the
+/// head — the steady-state shape of a running simulation.
+fn time_queue_pair<Q: SimQueue<u64>>(pending: usize, n: u64) -> f64 {
+    let mut q: Q = SimQueue::with_capacity(pending + 1);
+    let mut t = 0.0f64;
+    let mut x = 0x9E37_79B9u64;
+    for i in 0..pending as u64 {
+        t += 1e-4;
+        q.push(SimTime::from_secs(t), i);
+    }
+    let (_, secs) = timed(|| {
+        for i in 0..n {
+            t += 1e-4 + (lcg(&mut x) >> 60) as f64 * 1e-5;
+            q.push(SimTime::from_secs(t), i);
+            std::hint::black_box(q.pop());
+        }
+    });
+    secs * 1e9 / n as f64
+}
+
+/// ns per slab insert+take pair at driver-like occupancy (one resident
+/// request plus the churning one).
+fn time_slab_pair(n: u64) -> f64 {
+    let mut slab: Slab<Request> = Slab::with_capacity(4);
+    let r = Request::new(0, SimTime::ZERO, 0, 8, IoKind::Read);
+    let _resident = slab.insert(r);
+    let (_, secs) = timed(|| {
+        for _ in 0..n {
+            let h = slab.insert(r);
+            std::hint::black_box(slab.take(h));
+        }
+    });
+    secs * 1e9 / n as f64
+}
+
+/// One serially-measured whole-cell throughput sample.
+struct CellThroughput {
+    requests: u64,
+    events: u64,
+    wall_secs: f64,
+    requests_per_core_sec: f64,
+    events_per_core_sec: f64,
+    restructures: u64,
+}
+
+/// Runs `seeds` simulation cells serially on the calling thread and
+/// reports simulated requests (and events) per core-second. Serial
+/// single-threaded measurement makes the number per-core by construction
+/// — no division by a parallel speedup that varies with the host.
+fn time_cell<S: Scheduler>(
+    seeds: &[u64],
+    rate: f64,
+    requests: u64,
+    warmup: u64,
+    make_sched: impl Fn() -> S,
+) -> CellThroughput {
+    let (reports, wall_secs) = timed_best(3, || {
+        seeds
+            .iter()
+            .map(|&seed| {
+                Driver::new(
+                    RandomWorkload::paper(CAPACITY, rate, requests, seed),
+                    make_sched(),
+                    surfaced_mems_device(&MemsParams::default()),
+                )
+                .warmup_requests(warmup)
+                .run()
+            })
+            .collect::<Vec<_>>()
+    });
+    let completed: u64 = reports.iter().map(|r| r.completed).sum();
+    let restructures: u64 = reports.iter().map(|r| r.event_queue_restructures).sum();
+    // Every request is one arrival event plus one completion event.
+    let events = 2 * completed;
+    CellThroughput {
+        requests: completed,
+        events,
+        wall_secs,
+        requests_per_core_sec: completed as f64 / wall_secs,
+        events_per_core_sec: events as f64 / wall_secs,
+        restructures,
+    }
 }
 
 fn main() {
@@ -183,7 +293,7 @@ fn main() {
     });
     let baseline_mean = baseline_means.iter().sum::<f64>() / SEEDS.len() as f64;
 
-    let (fast_point, fast_secs) = timed(|| {
+    let (fast_point, fast_secs) = timed_best(3, || {
         replicated_point(
             RATE,
             Algorithm::Sptf,
@@ -193,7 +303,7 @@ fn main() {
             warmup,
         )
     });
-    let (surface_point, surface_secs) = timed(|| {
+    let (surface_point, surface_secs) = timed_best(3, || {
         replicated_point(
             RATE,
             Algorithm::Sptf,
@@ -217,6 +327,47 @@ fn main() {
     );
     if !means_match {
         eprintln!("warning: fast path changed the simulation result — pick equivalence broken");
+    }
+
+    // 6. events/sec: per-component ns/op, then whole cells measured
+    // serially on this thread so the requests/sec figure is per-core.
+    let n_ops = 2_000_000u64;
+    let cal_sparse_ns = time_queue_pair::<EventQueue<u64>>(2, n_ops);
+    let heap_sparse_ns = time_queue_pair::<BinaryHeapEventQueue<u64>>(2, n_ops);
+    let cal_deep_ns = time_queue_pair::<EventQueue<u64>>(4096, n_ops);
+    let heap_deep_ns = time_queue_pair::<BinaryHeapEventQueue<u64>>(4096, n_ops);
+    let slab_ns = time_slab_pair(n_ops);
+    println!(
+        "events/sec:  queue pair sparse {cal_sparse_ns:5.1} ns (heap {heap_sparse_ns:5.1})   deep {cal_deep_ns:5.1} ns (heap {heap_deep_ns:5.1})   slab pair {slab_ns:5.1} ns"
+    );
+
+    // The gated headline: the Fig. 6 SPTF cell on the shared surface.
+    let fig6_cell = time_cell(&SEEDS, RATE, requests, warmup, SptfScheduler::new);
+    // A high-rate open-loop cell with an O(1) scheduler: deep queues and
+    // dense event traffic with the pick cost out of the picture, so the
+    // number tracks the raw event engine.
+    const HIGH_RATE: f64 = 10_000.0;
+    let high_cell = time_cell(
+        &SEEDS,
+        HIGH_RATE,
+        requests.saturating_mul(2),
+        warmup,
+        FifoScheduler::new,
+    );
+    let realloc_free = fig6_cell.restructures == 0 && high_cell.restructures == 0;
+    println!(
+        "             fig6 cell {:9.0} req/core-s ({:.0} events/core-s, {:.3} s wall)",
+        fig6_cell.requests_per_core_sec, fig6_cell.events_per_core_sec, fig6_cell.wall_secs
+    );
+    println!(
+        "             high-rate cell {:9.0} req/core-s ({:.0} events/core-s, {:.3} s wall)   realloc-free: {realloc_free}",
+        high_cell.requests_per_core_sec, high_cell.events_per_core_sec, high_cell.wall_secs
+    );
+    if !realloc_free {
+        eprintln!(
+            "warning: event queue restructured mid-run (fig6 {}, high-rate {}) — pre-sizing failed",
+            fig6_cell.restructures, high_cell.restructures
+        );
     }
 
     let mut json = String::new();
@@ -265,6 +416,34 @@ fn main() {
             "    \"fast_mean_response_ms\": {:.6},\n",
             "    \"surface_mean_response_ms\": {:.6},\n",
             "    \"means_identical\": {}\n",
+            "  }},\n",
+            "  \"events_per_sec\": {{\n",
+            "    \"queue_pair_ops\": {},\n",
+            "    \"calendar_sparse_ns_per_pair\": {:.2},\n",
+            "    \"heap_sparse_ns_per_pair\": {:.2},\n",
+            "    \"calendar_deep_ns_per_pair\": {:.2},\n",
+            "    \"heap_deep_ns_per_pair\": {:.2},\n",
+            "    \"slab_ns_per_pair\": {:.2},\n",
+            "    \"realloc_free\": {},\n",
+            "    \"fig6_cell\": {{\n",
+            "      \"seeds\": {},\n",
+            "      \"requests\": {},\n",
+            "      \"events\": {},\n",
+            "      \"wall_secs\": {:.4},\n",
+            "      \"requests_per_core_sec\": {:.1},\n",
+            "      \"events_per_core_sec\": {:.1},\n",
+            "      \"queue_restructures\": {}\n",
+            "    }},\n",
+            "    \"high_rate_cell\": {{\n",
+            "      \"rate_req_per_s\": {},\n",
+            "      \"seeds\": {},\n",
+            "      \"requests\": {},\n",
+            "      \"events\": {},\n",
+            "      \"wall_secs\": {:.4},\n",
+            "      \"requests_per_core_sec\": {:.1},\n",
+            "      \"events_per_core_sec\": {:.1},\n",
+            "      \"queue_restructures\": {}\n",
+            "    }}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -300,6 +479,28 @@ fn main() {
         fast_point.mean_ms,
         surface_point.mean_ms,
         means_match,
+        n_ops,
+        cal_sparse_ns,
+        heap_sparse_ns,
+        cal_deep_ns,
+        heap_deep_ns,
+        slab_ns,
+        realloc_free,
+        SEEDS.len(),
+        fig6_cell.requests,
+        fig6_cell.events,
+        fig6_cell.wall_secs,
+        fig6_cell.requests_per_core_sec,
+        fig6_cell.events_per_core_sec,
+        fig6_cell.restructures,
+        HIGH_RATE,
+        SEEDS.len(),
+        high_cell.requests,
+        high_cell.events,
+        high_cell.wall_secs,
+        high_cell.requests_per_core_sec,
+        high_cell.events_per_core_sec,
+        high_cell.restructures,
     );
     match std::fs::write("BENCH_sched.json", &json) {
         Ok(()) => println!("\n[wrote BENCH_sched.json]"),

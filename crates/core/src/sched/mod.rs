@@ -26,7 +26,10 @@ mod vscan;
 
 pub use clook::ClookScheduler;
 pub use scan::{FscanScheduler, LookScheduler};
-pub use sptf::{AgedSptfScheduler, NaiveAgedSptfScheduler, NaiveSptfScheduler, SptfScheduler};
+pub use sptf::{
+    AgedSptfScheduler, NaiveAgedSptfScheduler, NaiveSptfScheduler, RescanAgedSptfScheduler,
+    RescanSptfScheduler, SptfScheduler,
+};
 pub use sstf::SstfScheduler;
 pub use vscan::VrScheduler;
 

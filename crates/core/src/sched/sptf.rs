@@ -13,7 +13,7 @@
 //!
 //! A full scan runs one closed-form kinematic solve per pending request
 //! per pick — O(queue²) solves per simulated second at saturation, the
-//! dominant cost of the Fig. 6 sweeps. [`SptfScheduler`] instead keeps the
+//! dominant cost of the Fig. 6 sweeps. The pruned scan instead keeps the
 //! pending set indexed by the device's *positioning bucket* (the cylinder,
 //! for mechanical devices) and expands outward from the bucket under the
 //! head, alternating sides nearest-first. Two sound lower bounds terminate
@@ -33,11 +33,28 @@
 //! bucket interface fall back to all-buckets-0, degrading gracefully to
 //! the exact full scan.
 //!
+//! # Incremental candidate maintenance
+//!
+//! [`SptfScheduler`] goes one step further than pruning: it keeps the
+//! bucket index in a *flat* dense array with an occupancy bitmap (the ring
+//! walk becomes bit scans instead of B-tree iterator hops) and caches each
+//! bucket's best candidate under the device's [`PositionOracle::rest_key`]
+//! — the collision-free fingerprint of everything positioning depends on
+//! besides the request. A cached bucket answers a visit without rescoring
+//! any candidate; the cache slot is invalidated only when the bucket is
+//! touched by an arrival or removal, and the whole cache turns over when
+//! the rest key changes. Debug builds cross-check every cache hit against
+//! a fresh rescan of that bucket. [`RescanSptfScheduler`] retains the
+//! previous B-tree rescan-every-pick implementation as the equivalence
+//! reference.
+//!
 //! [`AgedSptfScheduler`] is the classic aged variant \[WGP94]: each
 //! request's positioning estimate is discounted by how long it has waited,
 //! bounding starvation at a small average-case cost. The same pruned scan
 //! applies with the maximum outstanding age credit
-//! (`weight × oldest wait`) folded into the bounds.
+//! (`weight × oldest wait`) folded into the bounds. Aged scores depend on
+//! `now`, so the aged pick uses the flat index without the per-bucket
+//! cache ([`RescanAgedSptfScheduler`] keeps the B-tree reference).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
@@ -48,9 +65,9 @@ use storage_sim::{PositionOracle, Request, SchedCounters, Scheduler, SimTime};
 /// enqueue sequence number that breaks exact-tie scores.
 type BucketIndex = BTreeMap<u64, Vec<(u64, Request)>>;
 
-/// How many emptied bucket `Vec`s a scheduler keeps around for reuse.
-/// At steady state a bucket drains and refills once per handful of picks;
-/// recycling its allocation removes a malloc/free pair from every cycle.
+/// How many emptied bucket `Vec`s a rescan scheduler keeps around for
+/// reuse. At steady state a bucket drains and refills once per handful of
+/// picks; recycling its allocation removes a malloc/free pair per cycle.
 const SPARE_BUCKET_CAP: usize = 64;
 
 /// Expands the bucket index outward from the device's current bucket and
@@ -165,12 +182,317 @@ fn index_arrivals<O: PositionOracle + ?Sized>(
     }
 }
 
-/// Greedy shortest-positioning-time scheduler with a pruned pick.
+/// Flat dense bucket index: bucket `b` lives at `buckets[b]`, occupancy is
+/// a bitmap, and the outward ring walk of the pruned scan becomes
+/// next/previous-set-bit scans instead of B-tree iterator hops.
+///
+/// Positioning buckets are small dense cylinder indices on every device in
+/// the workspace (MEMS: 2500, disks: a few thousand), so the dense array
+/// stays tiny; emptied buckets keep their `Vec` allocation in place, which
+/// replaces the rescan scheduler's spare-list recycling.
+#[derive(Debug, Default)]
+struct FlatIndex {
+    buckets: Vec<Vec<(u64, Request)>>,
+    /// Occupancy bitmap: bit `b` of `words[b / 64]` ⇔ `buckets[b]` nonempty.
+    words: Vec<u64>,
+}
+
+impl FlatIndex {
+    /// Grows the dense array to cover `bucket`.
+    fn ensure(&mut self, bucket: usize) {
+        if bucket >= self.buckets.len() {
+            self.buckets.resize_with(bucket + 1, Vec::new);
+            self.words.resize(self.buckets.len().div_ceil(64), 0);
+        }
+    }
+
+    /// Appends an entry (sequence numbers grow monotonically, so appending
+    /// keeps the bucket in enqueue order).
+    fn push(&mut self, bucket: usize, seq: u64, req: Request) {
+        self.ensure(bucket);
+        self.buckets[bucket].push((seq, req));
+        self.words[bucket / 64] |= 1u64 << (bucket % 64);
+    }
+
+    /// Removes and returns entry `idx` of `bucket`, preserving the order
+    /// of the remaining entries and keeping the emptied `Vec` in place.
+    fn remove(&mut self, bucket: usize, idx: usize) -> (u64, Request) {
+        let entry = self.buckets[bucket].remove(idx);
+        if self.buckets[bucket].is_empty() {
+            self.words[bucket / 64] &= !(1u64 << (bucket % 64));
+        }
+        entry
+    }
+
+    /// Highest occupied bucket ≤ `from`, if any.
+    fn prev_occupied(&self, from: u64) -> Option<usize> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let from = (from as usize).min(self.buckets.len() - 1);
+        let (mut w, off) = (from / 64, from % 64);
+        let mut m = self.words[w] & (!0u64 >> (63 - off));
+        loop {
+            if m != 0 {
+                return Some(w * 64 + 63 - m.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            m = self.words[w];
+        }
+    }
+
+    /// Lowest occupied bucket ≥ `from`, if any.
+    fn next_occupied(&self, from: u64) -> Option<usize> {
+        let from = from as usize;
+        if from >= self.buckets.len() {
+            return None;
+        }
+        let (mut w, off) = (from / 64, from % 64);
+        let mut m = self.words[w] & (!0u64 << off);
+        loop {
+            if m != 0 {
+                return Some(w * 64 + m.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            m = self.words[w];
+        }
+    }
+}
+
+/// One cached per-bucket winner. Valid iff `gen` equals the cache's
+/// current generation; a freshly grown or invalidated slot has `gen` 0,
+/// which never matches (generations start at 1).
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    gen: u64,
+    score: f64,
+    seq: u64,
+    idx: usize,
+}
+
+const INVALID_SLOT: CacheSlot = CacheSlot {
+    gen: 0,
+    score: f64::INFINITY,
+    seq: u64::MAX,
+    idx: 0,
+};
+
+/// Per-bucket best-candidate cache keyed on the device rest state.
+///
+/// A slot holds the winning `(score, seq, idx)` of its bucket as computed
+/// under `key` (the device's [`PositionOracle::rest_key`]). The slot
+/// answers later visits from the same rest state without rescoring, as
+/// long as the bucket itself was not touched by an arrival or removal.
+/// Correct only for rest-state-pure scores (plain SPTF's positioning
+/// time); aged scores depend on `now` and must not use the cache.
+#[derive(Debug, Default)]
+struct PickCache {
+    slots: Vec<CacheSlot>,
+    /// Current generation; bumping it invalidates every slot at once.
+    gen: u64,
+    key: Option<[u64; 3]>,
+}
+
+impl PickCache {
+    /// Grows the slot array to match the index (new slots start invalid).
+    fn ensure(&mut self, buckets: usize) {
+        if buckets > self.slots.len() {
+            self.slots.resize(buckets, INVALID_SLOT);
+        }
+    }
+
+    /// Invalidates one bucket's slot (the bucket's entries changed).
+    fn invalidate_bucket(&mut self, bucket: usize) {
+        if let Some(slot) = self.slots.get_mut(bucket) {
+            slot.gen = 0;
+        }
+    }
+
+    /// Retunes the cache to the device's rest state at this pick: a key
+    /// match keeps every valid slot, anything else (including devices
+    /// without a rest key) turns the whole cache over.
+    fn sync_key(&mut self, key: Option<[u64; 3]>) {
+        match key {
+            Some(k) if self.key == Some(k) => {}
+            _ => {
+                self.gen += 1;
+                self.key = key;
+            }
+        }
+    }
+}
+
+/// Scores every entry of one bucket, returning the `(score, seq, idx)`
+/// winner under the lexicographic `(score, seq)` order.
+fn bucket_best<O: PositionOracle + ?Sized, F: Fn(&Request, f64) -> f64>(
+    entries: &[(u64, Request)],
+    device: &O,
+    now: SimTime,
+    score: &F,
+) -> (f64, u64, usize) {
+    let mut best = (f64::INFINITY, u64::MAX, 0usize);
+    for (idx, (seq, req)) in entries.iter().enumerate() {
+        let s = score(req, device.position_time(req, now));
+        if s < best.0 || (s == best.0 && *seq < best.1) {
+            best = (s, *seq, idx);
+        }
+    }
+    best
+}
+
+/// The flat-index pruned scan: identical visit order, floor comparisons,
+/// and tie-breaks to [`pruned_best`], with the ring walk on the occupancy
+/// bitmap and (when `cache` is given) per-bucket winners answered from the
+/// incremental cache.
+///
+/// `cache` must be `None` unless `score` depends only on the request and
+/// the device rest state (plain SPTF); the caller is responsible for
+/// keying and invalidating it. Debug builds cross-check every cache hit
+/// against a fresh rescan of the hit bucket.
+fn pruned_best_flat<O: PositionOracle + ?Sized, F: Fn(&Request, f64) -> f64>(
+    index: &FlatIndex,
+    mut cache: Option<&mut PickCache>,
+    device: &O,
+    now: SimTime,
+    score: F,
+    credit_bound: f64,
+    counters: &mut SchedCounters,
+) -> Option<(u64, usize)> {
+    let cur = device.current_bucket();
+    let mut down = index.prev_occupied(cur);
+    let mut up = index.next_occupied(cur + 1);
+    // (score, seq, bucket, index) of the incumbent.
+    let mut best: Option<(f64, u64, u64, usize)> = None;
+    // The distance floor is deterministic in `dist` for the duration of a
+    // pick, and the walk checks it with nondecreasing `dist` — often the
+    // same value twice in a row (a down visit then an up visit at equal
+    // distance). Memoize the last answer.
+    let mut floor_dist = u64::MAX;
+    let mut floor_val = 0.0f64;
+    loop {
+        let d_down = down.map(|b| cur - b as u64);
+        let d_up = up.map(|b| b as u64 - cur);
+        let take_down = match (d_down, d_up) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(a), Some(b)) => a <= b,
+        };
+        let dist = if take_down {
+            d_down.unwrap()
+        } else {
+            d_up.unwrap()
+        };
+        if let Some((best_score, ..)) = best {
+            if dist != floor_dist {
+                floor_val = device.min_position_time_at_bucket_distance(dist);
+                floor_dist = dist;
+            }
+            if floor_val - credit_bound > best_score {
+                break;
+            }
+        }
+        let bucket = if take_down {
+            let b = down.unwrap();
+            down = if b == 0 {
+                None
+            } else {
+                index.prev_occupied(b as u64 - 1)
+            };
+            b
+        } else {
+            let b = up.unwrap();
+            up = index.next_occupied(b as u64 + 1);
+            b
+        };
+        if let Some((best_score, ..)) = best {
+            if device.bucket_position_time_floor(bucket as u64) - credit_bound > best_score {
+                counters.buckets_pruned += 1;
+                continue;
+            }
+        }
+        let entries = &index.buckets[bucket];
+        let (bs, bseq, bidx) = match cache.as_deref_mut() {
+            Some(c) if c.slots[bucket].gen == c.gen => {
+                counters.cached_best_hits += 1;
+                let slot = c.slots[bucket];
+                #[cfg(debug_assertions)]
+                {
+                    // Cross-check the hit against a fresh rescan of this
+                    // one bucket (a full per-pick rescan would defeat the
+                    // point of the cache even in debug builds).
+                    let fresh = bucket_best(entries, device, now, &score);
+                    debug_assert_eq!(
+                        (fresh.0.to_bits(), fresh.1, fresh.2),
+                        (slot.score.to_bits(), slot.seq, slot.idx),
+                        "stale SPTF cache slot for bucket {bucket}"
+                    );
+                }
+                (slot.score, slot.seq, slot.idx)
+            }
+            c => {
+                counters.candidates_examined += entries.len() as u64;
+                let fresh = bucket_best(entries, device, now, &score);
+                if let Some(c) = c {
+                    c.slots[bucket] = CacheSlot {
+                        gen: c.gen,
+                        score: fresh.0,
+                        seq: fresh.1,
+                        idx: fresh.2,
+                    };
+                }
+                fresh
+            }
+        };
+        // Bucket-winner-then-compare equals the entrywise comparison: the
+        // lexicographic (score, seq) minimum is associative.
+        let better = match best {
+            None => true,
+            Some((best_score, best_seq, ..)) => {
+                bs < best_score || (bs == best_score && bseq < best_seq)
+            }
+        };
+        if better {
+            best = Some((bs, bseq, bucket as u64, bidx));
+        }
+    }
+    best.map(|(_, _, bucket, idx)| (bucket, idx))
+}
+
+/// Moves the arrivals of `inbox` into the flat index, invalidating the
+/// cache slot of every touched bucket.
+fn index_arrivals_flat<O: PositionOracle + ?Sized>(
+    inbox: &mut Vec<(u64, Request)>,
+    index: &mut FlatIndex,
+    mut cache: Option<&mut PickCache>,
+    device: &O,
+) {
+    for (seq, req) in inbox.drain(..) {
+        let bucket = usize::try_from(device.position_bucket(&req)).expect("bucket fits usize");
+        index.push(bucket, seq, req);
+        if let Some(c) = cache.as_deref_mut() {
+            c.invalidate_bucket(bucket);
+        }
+    }
+    if let Some(c) = cache {
+        c.ensure(index.buckets.len());
+    }
+}
+
+/// Greedy shortest-positioning-time scheduler with a pruned, incrementally
+/// cached pick.
 ///
 /// Each pick queries [`PositionOracle::position_time`] — the same
 /// full-knowledge oracle the paper's simulator gives its SPTF — but only
-/// for candidates the bucket bounds cannot exclude; the result is always
-/// identical to the full scan.
+/// for candidates the bucket bounds cannot exclude, and only in buckets
+/// whose cached winner was invalidated since the last pick from the same
+/// rest state; the result is always identical to the full scan.
 ///
 /// # Examples
 ///
@@ -192,9 +514,8 @@ pub struct SptfScheduler {
     /// Arrivals not yet bucketed (bucketing needs the device, which
     /// `enqueue` does not see).
     inbox: Vec<(u64, Request)>,
-    buckets: BucketIndex,
-    /// Recycled allocations of emptied buckets.
-    spare: Vec<Vec<(u64, Request)>>,
+    index: FlatIndex,
+    cache: PickCache,
     len: usize,
     next_seq: u64,
     counters: SchedCounters,
@@ -208,6 +529,71 @@ impl SptfScheduler {
 }
 
 impl Scheduler for SptfScheduler {
+    fn name(&self) -> &str {
+        "SPTF"
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.inbox.push((self.next_seq, req));
+        self.next_seq += 1;
+        self.len += 1;
+    }
+
+    fn pick<O: PositionOracle + ?Sized>(&mut self, device: &O, now: SimTime) -> Option<Request> {
+        index_arrivals_flat(
+            &mut self.inbox,
+            &mut self.index,
+            Some(&mut self.cache),
+            device,
+        );
+        self.cache.sync_key(device.rest_key(now));
+        let (bucket, idx) = pruned_best_flat(
+            &self.index,
+            Some(&mut self.cache),
+            device,
+            now,
+            |_, t| t,
+            0.0,
+            &mut self.counters,
+        )?;
+        self.counters.picks += 1;
+        self.len -= 1;
+        let bucket = bucket as usize;
+        self.cache.invalidate_bucket(bucket);
+        Some(self.index.remove(bucket, idx).1)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
+    }
+}
+
+/// The previous pruned SPTF: a B-tree bucket index rescanned on every
+/// pick. Retained as the reference [`SptfScheduler`]'s incremental cache
+/// is proven against (equivalence tests and `perf_smoke` ladders).
+#[derive(Debug, Default)]
+pub struct RescanSptfScheduler {
+    inbox: Vec<(u64, Request)>,
+    buckets: BucketIndex,
+    /// Recycled allocations of emptied buckets.
+    spare: Vec<Vec<(u64, Request)>>,
+    len: usize,
+    next_seq: u64,
+    counters: SchedCounters,
+}
+
+impl RescanSptfScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RescanSptfScheduler {
     fn name(&self) -> &str {
         "SPTF"
     }
@@ -242,7 +628,7 @@ impl Scheduler for SptfScheduler {
     }
 }
 
-/// The exact O(n)-scan SPTF the pruned implementation must match pick for
+/// The exact O(n)-scan SPTF the pruned implementations must match pick for
 /// pick: scan every pending request in enqueue order, keep the strict
 /// minimum. Retained as the equivalence-test reference and the
 /// `perf_smoke` baseline.
@@ -298,20 +684,19 @@ impl Scheduler for NaiveSptfScheduler {
 }
 
 /// Aged SPTF: positioning time minus `weight × wait time` \[WGP94],
-/// served by the same pruned scan as [`SptfScheduler`].
+/// served by the same flat-index pruned scan as [`SptfScheduler`].
 ///
 /// With `weight = 0` this is plain SPTF; larger weights approach FCFS.
 /// A weight in the low single digits (seconds of positioning credit per
 /// second of waiting, i.e. dimensionless) bounds starvation effectively.
 /// The prune stays sound under aging: the bounds are discounted by the
 /// *maximum* credit any pending request has earned (`weight × oldest
-/// wait`), tracked via the arrival set.
+/// wait`), tracked via the arrival set. Aged scores depend on `now`, so
+/// the per-bucket winner cache does not apply.
 #[derive(Debug)]
 pub struct AgedSptfScheduler {
     inbox: Vec<(u64, Request)>,
-    buckets: BucketIndex,
-    /// Recycled allocations of emptied buckets.
-    spare: Vec<Vec<(u64, Request)>>,
+    index: FlatIndex,
     /// `(arrival, seq)` of every pending request; the first entry gives
     /// the oldest wait, hence the largest possible age credit.
     arrivals: BTreeSet<(SimTime, u64)>,
@@ -332,6 +717,93 @@ impl AgedSptfScheduler {
         assert!(weight.is_finite() && weight >= 0.0, "weight must be >= 0");
         AgedSptfScheduler {
             inbox: Vec::new(),
+            index: FlatIndex::default(),
+            arrivals: BTreeSet::new(),
+            len: 0,
+            next_seq: 0,
+            weight,
+            name: format!("SPTF-aged({weight})"),
+            counters: SchedCounters::default(),
+        }
+    }
+}
+
+impl Scheduler for AgedSptfScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        self.arrivals.insert((req.arrival, self.next_seq));
+        self.inbox.push((self.next_seq, req));
+        self.next_seq += 1;
+        self.len += 1;
+    }
+
+    fn pick<O: PositionOracle + ?Sized>(&mut self, device: &O, now: SimTime) -> Option<Request> {
+        index_arrivals_flat(&mut self.inbox, &mut self.index, None, device);
+        let credit_bound = match self.arrivals.first() {
+            Some(&(oldest, _)) => self.weight * (now - oldest).as_secs().max(0.0),
+            None => return None,
+        };
+        let weight = self.weight;
+        let score = |req: &Request, t: f64| {
+            let wait = (now - req.arrival).as_secs().max(0.0);
+            t - weight * wait
+        };
+        let (bucket, idx) = pruned_best_flat(
+            &self.index,
+            None,
+            device,
+            now,
+            score,
+            credit_bound,
+            &mut self.counters,
+        )?;
+        self.counters.picks += 1;
+        let (seq, req) = self.index.remove(bucket as usize, idx);
+        self.arrivals.remove(&(req.arrival, seq));
+        self.len -= 1;
+        Some(req)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn counters(&self) -> SchedCounters {
+        self.counters
+    }
+}
+
+/// The previous pruned aged SPTF on the B-tree bucket index, the
+/// reference for [`AgedSptfScheduler`]'s flat-index pick.
+#[derive(Debug)]
+pub struct RescanAgedSptfScheduler {
+    inbox: Vec<(u64, Request)>,
+    buckets: BucketIndex,
+    /// Recycled allocations of emptied buckets.
+    spare: Vec<Vec<(u64, Request)>>,
+    /// `(arrival, seq)` of every pending request; the first entry gives
+    /// the oldest wait, hence the largest possible age credit.
+    arrivals: BTreeSet<(SimTime, u64)>,
+    len: usize,
+    next_seq: u64,
+    weight: f64,
+    name: String,
+    counters: SchedCounters,
+}
+
+impl RescanAgedSptfScheduler {
+    /// Creates an aged SPTF scheduler with the given aging weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn new(weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be >= 0");
+        RescanAgedSptfScheduler {
+            inbox: Vec::new(),
             buckets: BTreeMap::new(),
             spare: Vec::new(),
             arrivals: BTreeSet::new(),
@@ -344,7 +816,7 @@ impl AgedSptfScheduler {
     }
 }
 
-impl Scheduler for AgedSptfScheduler {
+impl Scheduler for RescanAgedSptfScheduler {
     fn name(&self) -> &str {
         &self.name
     }
@@ -553,10 +1025,10 @@ mod tests {
         }
     }
 
-    /// Drains pruned and naive schedulers against twin devices (service
-    /// is applied to both so their mechanical states track), asserting
-    /// identical pick sequences. Interleaves batches of arrivals with
-    /// picks so the scan runs from many different sled states.
+    /// Drains two schedulers against twin devices (service is applied to
+    /// both so their mechanical states track), asserting identical pick
+    /// sequences. Interleaves batches of arrivals with picks so the scan
+    /// runs from many different sled states.
     fn assert_pick_equivalence<P: Scheduler, N: Scheduler>(
         mut pruned: P,
         mut naive: N,
@@ -596,7 +1068,7 @@ mod tests {
     }
 
     #[test]
-    fn pruned_sptf_matches_naive_scan_across_seeds() {
+    fn incremental_sptf_matches_naive_scan_across_seeds() {
         for seed in [1u64, 0xDEAD_BEEF, 0x5EED_0006] {
             assert_pick_equivalence(SptfScheduler::new(), NaiveSptfScheduler::new(), seed, true);
             assert_pick_equivalence(SptfScheduler::new(), NaiveSptfScheduler::new(), seed, false);
@@ -604,12 +1076,45 @@ mod tests {
     }
 
     #[test]
-    fn pruned_aged_sptf_matches_naive_scan_across_seeds() {
+    fn incremental_sptf_matches_rescan_across_seeds() {
+        for seed in [1u64, 0xDEAD_BEEF, 0x5EED_0006] {
+            assert_pick_equivalence(SptfScheduler::new(), RescanSptfScheduler::new(), seed, true);
+        }
+    }
+
+    #[test]
+    fn rescan_sptf_matches_naive_scan_across_seeds() {
+        for seed in [1u64, 0x5EED_0006] {
+            assert_pick_equivalence(
+                RescanSptfScheduler::new(),
+                NaiveSptfScheduler::new(),
+                seed,
+                true,
+            );
+        }
+    }
+
+    #[test]
+    fn aged_sptf_matches_naive_scan_across_seeds() {
         for seed in [2u64, 42, 0x5EED_0006] {
             for weight in [0.5, 3.0] {
                 assert_pick_equivalence(
                     AgedSptfScheduler::new(weight),
                     NaiveAgedSptfScheduler::new(weight),
+                    seed,
+                    true,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aged_sptf_matches_rescan_across_seeds() {
+        for seed in [2u64, 0x5EED_0006] {
+            for weight in [0.5, 3.0] {
+                assert_pick_equivalence(
+                    AgedSptfScheduler::new(weight),
+                    RescanAgedSptfScheduler::new(weight),
                     seed,
                     true,
                 );
@@ -642,7 +1147,52 @@ mod tests {
             cp.candidates_examined,
             cn.candidates_examined
         );
-        assert!(cp.candidates_examined >= cp.picks, "every pick scores >= 1");
+        // Every pick resolves each visited bucket exactly once, either by
+        // scoring it or from the cache.
+        assert!(
+            cp.candidates_examined + cp.cached_best_hits >= cp.picks,
+            "every pick resolves >= 1 bucket"
+        );
+        // The device never moves in this drain (no service calls), so the
+        // rest key is constant and the incremental cache must fire.
+        assert!(
+            cp.cached_best_hits > 0,
+            "static rest state produced no cache hits"
+        );
+    }
+
+    #[test]
+    fn cache_survives_untouched_buckets_across_arrivals() {
+        // Drain-with-interleaved-arrivals from a fixed rest state: only
+        // buckets touched by arrivals or removals rescore; the rest hit.
+        let dev = MemsDevice::new(MemsParams::default());
+        let mut s = SptfScheduler::new();
+        let mut next_lbn = lbn_stream(7, dev.capacity_lbns());
+        let mut id = 0u64;
+        for _ in 0..128 {
+            s.enqueue(Request::new(id, SimTime::ZERO, next_lbn(), 8, IoKind::Read));
+            id += 1;
+        }
+        let mut picked = Vec::new();
+        for _ in 0..64 {
+            picked.push(s.pick(&dev, SimTime::ZERO).unwrap().id);
+            s.enqueue(Request::new(id, SimTime::ZERO, next_lbn(), 8, IoKind::Read));
+            id += 1;
+        }
+        // Same stream through the rescan reference must pick identically.
+        let mut r = RescanSptfScheduler::new();
+        let mut next_lbn = lbn_stream(7, dev.capacity_lbns());
+        let mut id = 0u64;
+        for _ in 0..128 {
+            r.enqueue(Request::new(id, SimTime::ZERO, next_lbn(), 8, IoKind::Read));
+            id += 1;
+        }
+        for want in &picked {
+            assert_eq!(r.pick(&dev, SimTime::ZERO).unwrap().id, *want);
+            r.enqueue(Request::new(id, SimTime::ZERO, next_lbn(), 8, IoKind::Read));
+            id += 1;
+        }
+        assert!(s.counters().cached_best_hits > 0);
     }
 
     #[test]

@@ -181,6 +181,18 @@ impl PositionOracle for DiskDevice {
             .abs_diff(u32::try_from(bucket).unwrap_or(u32::MAX));
         self.curve.time(d)
     }
+
+    fn rest_key(&self, now: SimTime) -> Option<[u64; 3]> {
+        // Disk positioning depends on the arm position AND on `now`
+        // (rotational latency is phase-dependent), so the key includes the
+        // exact query time: the cache only hits for repeated queries from
+        // an unchanged state at the same instant.
+        Some([
+            (u64::from(self.cylinder) << 32) | u64::from(self.head),
+            now.as_secs().to_bits(),
+            0,
+        ])
+    }
 }
 
 impl StorageDevice for DiskDevice {

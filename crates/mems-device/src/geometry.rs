@@ -70,6 +70,26 @@ impl Mapper {
     /// Panics if `lbn` is beyond the device capacity.
     pub fn decompose(&self, lbn: u64) -> PhysAddr {
         assert!(lbn < self.geom.total_sectors(), "LBN {lbn} out of range");
+        // 32-bit divides are markedly cheaper than 64-bit ones and every
+        // shipping geometry's capacity fits u32; keep a u64 fallback for
+        // synthetic geometries that don't.
+        if let Ok(lbn) = u32::try_from(lbn) {
+            let spr = self.geom.sectors_per_row;
+            let rpt = self.geom.rows_per_track;
+            let tpc = self.geom.tracks_per_cylinder;
+            let slot = lbn % spr;
+            let global_row = lbn / spr;
+            let row = global_row % rpt;
+            let global_track = global_row / rpt;
+            let track = global_track % tpc;
+            let cylinder = global_track / tpc;
+            return PhysAddr {
+                cylinder,
+                track,
+                row,
+                slot,
+            };
+        }
         let spr = u64::from(self.geom.sectors_per_row);
         let rpt = u64::from(self.geom.rows_per_track);
         let tpc = u64::from(self.geom.tracks_per_cylinder);
@@ -138,29 +158,101 @@ impl Mapper {
     ///
     /// Panics if the range exceeds the device capacity or is empty.
     pub fn segments(&self, lbn: u64, sectors: u32) -> Vec<Segment> {
+        self.segment_iter(lbn, sectors).collect()
+    }
+
+    /// Iterator form of [`Mapper::segments`]: the same track-contiguous
+    /// spans in the same order, produced one at a time without allocating
+    /// — the form the service and positioning hot paths consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity or is empty.
+    pub fn segment_iter(&self, lbn: u64, sectors: u32) -> SegmentIter<'_> {
         assert!(sectors > 0, "empty request");
         let end = lbn + u64::from(sectors);
         assert!(end <= self.geom.total_sectors(), "request beyond capacity");
         let spr = u64::from(self.geom.sectors_per_row);
-        let rpt = u64::from(self.geom.rows_per_track);
-        let first_row = lbn / spr;
-        let last_row = (end - 1) / spr;
-        let mut segments = Vec::new();
-        let mut row = first_row;
-        while row <= last_row {
+        SegmentIter {
+            mapper: self,
+            row: lbn / spr,
+            last_row: (end - 1) / spr,
+        }
+    }
+
+    /// First track-contiguous segment of the range — the only one
+    /// positioning-time estimation needs — without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity or is empty.
+    pub fn first_segment(&self, lbn: u64, sectors: u32) -> Segment {
+        self.segment_iter(lbn, sectors)
+            .next()
+            .expect("non-empty request has a first segment")
+    }
+
+    /// The segment covering rows `row..` of the track holding `row`,
+    /// clipped to `last_row`; returns the segment and the first row after
+    /// it.
+    fn segment_from_row(&self, row: u64, last_row: u64) -> (Segment, u64) {
+        // u32 fast path: same 32-bit-divide rationale as `decompose`. The
+        // guard leaves `rows_per_track` of headroom so the rounded-up track
+        // end below cannot overflow u32.
+        let rpt = self.geom.rows_per_track;
+        if last_row.saturating_add(u64::from(rpt)) <= u64::from(u32::MAX) {
+            let row = row as u32;
+            let last_row = last_row as u32;
             let track_index = row / rpt; // global track number
             let track_last_row = (track_index + 1) * rpt - 1;
             let seg_last = track_last_row.min(last_row);
-            let tpc = u64::from(self.geom.tracks_per_cylinder);
-            segments.push(Segment {
+            let tpc = self.geom.tracks_per_cylinder;
+            return (
+                Segment {
+                    cylinder: track_index / tpc,
+                    track: track_index % tpc,
+                    row_start: row % rpt,
+                    row_end: seg_last % rpt,
+                },
+                u64::from(seg_last) + 1,
+            );
+        }
+        let rpt = u64::from(self.geom.rows_per_track);
+        let track_index = row / rpt; // global track number
+        let track_last_row = (track_index + 1) * rpt - 1;
+        let seg_last = track_last_row.min(last_row);
+        let tpc = u64::from(self.geom.tracks_per_cylinder);
+        (
+            Segment {
                 cylinder: (track_index / tpc) as u32,
                 track: (track_index % tpc) as u32,
                 row_start: (row % rpt) as u32,
                 row_end: (seg_last % rpt) as u32,
-            });
-            row = seg_last + 1;
+            },
+            seg_last + 1,
+        )
+    }
+}
+
+/// Allocation-free iterator over the track-contiguous row segments of an
+/// LBN range (see [`Mapper::segment_iter`]).
+#[derive(Debug, Clone)]
+pub struct SegmentIter<'a> {
+    mapper: &'a Mapper,
+    row: u64,
+    last_row: u64,
+}
+
+impl Iterator for SegmentIter<'_> {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.row > self.last_row {
+            return None;
         }
-        segments
+        let (seg, next_row) = self.mapper.segment_from_row(self.row, self.last_row);
+        self.row = next_row;
+        Some(seg)
     }
 }
 

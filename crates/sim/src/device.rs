@@ -156,6 +156,20 @@ pub trait PositionOracle {
         let _ = bucket;
         0.0
     }
+
+    /// Collision-free fingerprint of the rest state: everything
+    /// [`PositionOracle::position_time`] depends on *besides* the request.
+    /// Two calls returning equal `Some` keys MUST produce bit-identical
+    /// `position_time` for every request — implementations encode exact
+    /// state (float bit patterns, integer coordinates), never hashes.
+    /// Incremental SPTF caches per-bucket winners under this key and reuses
+    /// them only while the key is unchanged. The default (`None`) disables
+    /// caching, which is always safe — in particular for wrappers whose
+    /// oracle depends on more than the wrapped device's mechanical state.
+    fn rest_key(&self, now: SimTime) -> Option<[u64; 3]> {
+        let _ = now;
+        None
+    }
 }
 
 /// References are oracles too: this lets `&dyn PositionOracle` (and `&D`)
@@ -181,6 +195,10 @@ impl<T: PositionOracle + ?Sized> PositionOracle for &T {
 
     fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
         (**self).bucket_position_time_floor(bucket)
+    }
+
+    fn rest_key(&self, now: SimTime) -> Option<[u64; 3]> {
+        (**self).rest_key(now)
     }
 }
 
@@ -251,6 +269,11 @@ impl ConstantDevice {
 impl PositionOracle for ConstantDevice {
     fn position_time(&self, _req: &Request, _now: SimTime) -> f64 {
         0.0
+    }
+
+    fn rest_key(&self, _now: SimTime) -> Option<[u64; 3]> {
+        // Positioning is identically zero: the rest state never changes.
+        Some([0; 3])
     }
 }
 

@@ -6,15 +6,26 @@
 //! the next request given the device's mechanical state (this is where
 //! SPTF's positioning-time oracle gets consulted). One device, one
 //! outstanding request — the configuration used throughout the paper.
+//!
+//! The event loop is generic over two hot-path strategies, both proven
+//! observationally identical by the `perf_identity` integration tests:
+//!
+//! * the event queue ([`QueuePolicy`]): the calendar queue by default, or
+//!   the reference binary heap via [`crate::HeapQueuePolicy`];
+//! * in-flight request storage ([`RequestStore`]): a slab passing `u32`
+//!   slot handles through event payloads by default ([`SlabStore`]), or
+//!   moving the values themselves via [`crate::MoveStore`].
 
+use std::marker::PhantomData;
 use std::time::Instant;
 
 use crate::device::{ServiceBreakdown, StorageDevice};
-use crate::event::EventQueue;
+use crate::event::{CalendarQueuePolicy, Event, QueuePolicy, SimQueue};
 use crate::fault::{FaultClock, FaultKind};
 use crate::profile::ProfScope;
 use crate::request::{Completion, Request};
 use crate::sched::{SchedCounters, Scheduler};
+use crate::slab::{RequestStore, SlabStore};
 use crate::stats::{ResponseStats, Welford};
 use crate::time::SimTime;
 use crate::tracer::{NoopTracer, Tracer};
@@ -43,6 +54,9 @@ pub struct SimReport {
     pub max_queue_depth: usize,
     /// Fault events delivered to the device during the run.
     pub fault_events: u64,
+    /// Times the event queue had to restructure mid-run (heap reallocation
+    /// or calendar rebuild); zero means the driver's pre-sizing held.
+    pub event_queue_restructures: u64,
     /// Every completion, in completion order (only if recording was enabled).
     pub completions: Option<Vec<Completion>>,
 }
@@ -64,10 +78,42 @@ impl SimReport {
     }
 }
 
-enum Ev {
-    Arrival(Request),
-    Complete(Completion),
+/// Event payload, generic over the store's handle types: a [`SlabStore`]
+/// run moves 4-byte slot handles through the queue, a [`crate::MoveStore`]
+/// run moves the request/completion values themselves.
+enum Ev<A, C> {
+    Arrival(A),
+    Complete(C),
     Fault(FaultKind),
+}
+
+/// Pushes with the event-queue scope timer (compiled out unless the tracer
+/// profiles). Free function so the tracer and queue borrows stay disjoint.
+fn push_timed<T: Tracer, P, Q: SimQueue<P>>(
+    tracer: &mut T,
+    events: &mut Q,
+    at: SimTime,
+    payload: P,
+) {
+    if T::PROFILE {
+        let t0 = Instant::now();
+        events.push(at, payload);
+        tracer.on_scope(ProfScope::EventPush, t0.elapsed().as_nanos() as u64);
+    } else {
+        events.push(at, payload);
+    }
+}
+
+/// Pops with the event-queue scope timer (compiled out unless profiling).
+fn pop_timed<T: Tracer, P, Q: SimQueue<P>>(tracer: &mut T, events: &mut Q) -> Option<Event<P>> {
+    if T::PROFILE {
+        let t0 = Instant::now();
+        let popped = events.pop();
+        tracer.on_scope(ProfScope::EventPop, t0.elapsed().as_nanos() as u64);
+        popped
+    } else {
+        events.pop()
+    }
 }
 
 /// Couples a [`Workload`], a [`Scheduler`], and a [`StorageDevice`] and
@@ -76,7 +122,11 @@ enum Ev {
 /// The driver is generic over a [`Tracer`]; the default [`NoopTracer`]
 /// compiles every observation hook to nothing, so an untraced driver is
 /// exactly the pre-observability driver (asserted bit-identical by test).
-/// Attach a recording tracer with [`Driver::with_tracer`].
+/// Attach a recording tracer with [`Driver::with_tracer`]. The queue and
+/// request-store strategies default to the fast paths (calendar queue,
+/// slab handles); swap them with [`Driver::with_queue_policy`] and
+/// [`Driver::with_request_store`] — every combination produces the same
+/// [`SimReport`] bit for bit.
 ///
 /// # Examples
 ///
@@ -97,45 +147,87 @@ enum Ev {
 /// // Second request queues behind the first: responses are 1 ms and 2 ms.
 /// assert!((report.response.mean_ms() - 1.5).abs() < 1e-9);
 /// ```
-pub struct Driver<W, S, D, T = NoopTracer> {
+pub struct Driver<W, S, D, T = NoopTracer, Q = CalendarQueuePolicy, R = SlabStore> {
     workload: W,
     scheduler: S,
     device: D,
     tracer: T,
+    store: R,
     faults: FaultClock,
     warmup_requests: u64,
     record_completions: bool,
+    _queue: PhantomData<Q>,
 }
 
-impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D, NoopTracer> {
+impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D> {
     /// Creates an untraced driver with no warm-up exclusion and completion
-    /// recording disabled.
+    /// recording disabled, using the default calendar queue and slab store.
     pub fn new(workload: W, scheduler: S, device: D) -> Self {
         Driver {
             workload,
             scheduler,
             device,
             tracer: NoopTracer,
+            store: SlabStore::new(),
             faults: FaultClock::empty(),
             warmup_requests: 0,
             record_completions: false,
+            _queue: PhantomData,
         }
     }
 }
 
-impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> {
+impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: RequestStore>
+    Driver<W, S, D, T, Q, R>
+{
     /// Replaces the tracer, rebinding the driver to the new tracer type.
     /// Typically called right after [`Driver::new`] to attach a
     /// [`crate::RingTracer`].
-    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> Driver<W, S, D, T2> {
+    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> Driver<W, S, D, T2, Q, R> {
         Driver {
             workload: self.workload,
             scheduler: self.scheduler,
             device: self.device,
             tracer,
+            store: self.store,
             faults: self.faults,
             warmup_requests: self.warmup_requests,
             record_completions: self.record_completions,
+            _queue: PhantomData,
+        }
+    }
+
+    /// Selects the event-queue implementation (see [`QueuePolicy`]). The
+    /// default calendar queue and the [`crate::HeapQueuePolicy`] reference
+    /// produce bit-identical reports; the policy only changes wall-clock.
+    pub fn with_queue_policy<Q2: QueuePolicy>(self) -> Driver<W, S, D, T, Q2, R> {
+        Driver {
+            workload: self.workload,
+            scheduler: self.scheduler,
+            device: self.device,
+            tracer: self.tracer,
+            store: self.store,
+            faults: self.faults,
+            warmup_requests: self.warmup_requests,
+            record_completions: self.record_completions,
+            _queue: PhantomData,
+        }
+    }
+
+    /// Selects the in-flight request storage strategy (see
+    /// [`RequestStore`]). The default [`SlabStore`] and the
+    /// [`crate::MoveStore`] reference produce bit-identical reports.
+    pub fn with_request_store<R2: RequestStore>(self) -> Driver<W, S, D, T, Q, R2> {
+        Driver {
+            workload: self.workload,
+            scheduler: self.scheduler,
+            device: self.device,
+            tracer: self.tracer,
+            store: R2::new(),
+            faults: self.faults,
+            warmup_requests: self.warmup_requests,
+            record_completions: self.record_completions,
+            _queue: PhantomData,
         }
     }
 
@@ -172,15 +264,76 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
         &self.tracer
     }
 
+    /// Parks an arriving request in the store (slab-alloc scope timed).
+    fn park_arrival(&mut self, req: Request) -> R::ArrivalHandle {
+        if T::PROFILE && R::IS_SLAB {
+            let t0 = Instant::now();
+            let handle = self.store.put_arrival(req);
+            self.tracer
+                .on_scope(ProfScope::SlabAlloc, t0.elapsed().as_nanos() as u64);
+            handle
+        } else {
+            self.store.put_arrival(req)
+        }
+    }
+
+    /// Redeems an arrival handle (slab-free scope timed).
+    fn redeem_arrival(&mut self, handle: R::ArrivalHandle) -> Request {
+        if T::PROFILE && R::IS_SLAB {
+            let t0 = Instant::now();
+            let req = self.store.take_arrival(handle);
+            self.tracer
+                .on_scope(ProfScope::SlabFree, t0.elapsed().as_nanos() as u64);
+            req
+        } else {
+            self.store.take_arrival(handle)
+        }
+    }
+
+    /// Parks a completion record in the store (slab-alloc scope timed).
+    fn park_completion(&mut self, completion: Completion) -> R::CompletionHandle {
+        if T::PROFILE && R::IS_SLAB {
+            let t0 = Instant::now();
+            let handle = self.store.put_completion(completion);
+            self.tracer
+                .on_scope(ProfScope::SlabAlloc, t0.elapsed().as_nanos() as u64);
+            handle
+        } else {
+            self.store.put_completion(completion)
+        }
+    }
+
+    /// Redeems a completion handle (slab-free scope timed).
+    fn redeem_completion(&mut self, handle: R::CompletionHandle) -> Completion {
+        if T::PROFILE && R::IS_SLAB {
+            let t0 = Instant::now();
+            let completion = self.store.take_completion(handle);
+            self.tracer
+                .on_scope(ProfScope::SlabFree, t0.elapsed().as_nanos() as u64);
+            completion
+        } else {
+            self.store.take_completion(handle)
+        }
+    }
+
     /// Runs the workload to exhaustion and returns the aggregated report.
     ///
     /// # Panics
     ///
     /// Panics if the workload yields decreasing arrival times.
     pub fn run(&mut self) -> SimReport {
-        // One outstanding arrival plus one completion is the steady state;
-        // pre-size generously so the heap never reallocates mid-run.
-        let mut events: EventQueue<Ev> = EventQueue::with_capacity(16);
+        // The pending-event population is bounded by the chains, not the
+        // workload: one in-flight arrival, one completion, and (with a
+        // non-empty fault clock) one fault. Tiny workloads bound it lower
+        // still. Pre-sizing from this estimate keeps the queue
+        // restructure-free for the whole run (reported in the report).
+        let chain = 2 + u64::from(!self.faults.is_empty());
+        let capacity = match self.workload.len_hint() {
+            Some(n) => chain.min(n.max(1)),
+            None => chain,
+        } as usize;
+        let mut events: Q::Queue<Ev<R::ArrivalHandle, R::CompletionHandle>> =
+            SimQueue::with_capacity(capacity);
         let mut report = SimReport {
             completed: 0,
             makespan: SimTime::ZERO,
@@ -192,6 +345,7 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
             mean_queue_depth: 0.0,
             max_queue_depth: 0,
             fault_events: 0,
+            event_queue_restructures: 0,
             completions: if self.record_completions {
                 Some(Vec::new())
             } else {
@@ -202,18 +356,24 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
         let mut last_arrival = match self.workload.next_request() {
             Some(first) => {
                 let at = first.arrival;
-                events.push(at, Ev::Arrival(first));
+                let handle = self.park_arrival(first);
+                push_timed(&mut self.tracer, &mut events, at, Ev::Arrival(handle));
                 at
             }
             None => return report,
         };
 
-        // Faults enter the heap one at a time (the clock is already time-
+        // Faults enter the queue one at a time (the clock is already time-
         // ordered); each delivery schedules its successor, exactly like the
         // workload's arrival chain. An empty clock pushes nothing, so the
         // fault-free event sequence is untouched.
         if let Some(fault) = self.faults.pop() {
-            events.push(fault.at, Ev::Fault(fault.kind));
+            push_timed(
+                &mut self.tracer,
+                &mut events,
+                fault.at,
+                Ev::Fault(fault.kind),
+            );
         }
 
         let mut device_busy = false;
@@ -230,7 +390,7 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
         };
         let mut event_count: u64 = 0;
 
-        while let Some(event) = events.pop() {
+        while let Some(event) = pop_timed(&mut self.tracer, &mut events) {
             let now = event.at;
             if T::PROFILE {
                 event_count += 1;
@@ -242,7 +402,8 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
             }
 
             match event.payload {
-                Ev::Arrival(req) => {
+                Ev::Arrival(handle) => {
+                    let req = self.redeem_arrival(handle);
                     self.scheduler.enqueue(req);
                     if T::ENABLED {
                         self.tracer.on_arrival(&req, now, self.scheduler.len());
@@ -254,13 +415,16 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
                             "workload arrival times must be non-decreasing"
                         );
                         last_arrival = next.arrival;
-                        events.push(next.arrival, Ev::Arrival(next));
+                        let at = next.arrival;
+                        let handle = self.park_arrival(next);
+                        push_timed(&mut self.tracer, &mut events, at, Ev::Arrival(handle));
                     }
                     if !device_busy {
                         device_busy = self.start_next(now, &mut events, &mut report);
                     }
                 }
-                Ev::Complete(completion) => {
+                Ev::Complete(handle) => {
+                    let completion = self.redeem_completion(handle);
                     completed_total += 1;
                     if completed_total > self.warmup_requests {
                         report.completed += 1;
@@ -297,7 +461,7 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
                         self.tracer.on_fault(&kind, now);
                     }
                     if let Some(next) = self.faults.pop() {
-                        events.push(next.at, Ev::Fault(next.kind));
+                        push_timed(&mut self.tracer, &mut events, next.at, Ev::Fault(next.kind));
                     }
                 }
             }
@@ -308,6 +472,7 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
                 .on_run_wall(event_count, run_start.elapsed().as_nanos() as u64);
         }
 
+        report.event_queue_restructures = events.restructures();
         let span = report.makespan.as_secs();
         report.mean_queue_depth = if span > 0.0 {
             depth_integral / span
@@ -322,7 +487,7 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
     fn start_next(
         &mut self,
         now: SimTime,
-        events: &mut EventQueue<Ev>,
+        events: &mut Q::Queue<Ev<R::ArrivalHandle, R::CompletionHandle>>,
         report: &mut SimReport,
     ) -> bool {
         let depth_before = if T::ENABLED { self.scheduler.len() } else { 0 };
@@ -373,7 +538,9 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
                     start_service: now,
                     completion: now + total,
                 };
-                events.push(completion.completion, Ev::Complete(completion));
+                let at = completion.completion;
+                let handle = self.park_completion(completion);
+                push_timed(&mut self.tracer, events, at, Ev::Complete(handle));
                 true
             }
             None => false,
@@ -385,8 +552,10 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer> Driver<W, S, D, T> 
 mod tests {
     use super::*;
     use crate::device::ConstantDevice;
+    use crate::event::HeapQueuePolicy;
     use crate::request::IoKind;
     use crate::sched::FifoScheduler;
+    use crate::slab::MoveStore;
     use crate::workload::VecWorkload;
 
     fn req(id: u64, at_ms: f64, lbn: u64) -> Request {
@@ -483,6 +652,57 @@ mod tests {
         assert_eq!(t.counters().arrivals, 3);
         assert_eq!(t.counters().picks, 3);
         assert_eq!(t.counters().completions, 3);
+    }
+
+    #[test]
+    fn queue_and_store_strategies_are_bit_identical() {
+        let reqs: Vec<Request> = (0..200)
+            .map(|i| req(i, f64::from(i as u32) * 0.37, (i * 8) % 4096))
+            .collect();
+        let run_default = Driver::new(
+            VecWorkload::new(reqs.clone()),
+            FifoScheduler::new(),
+            ConstantDevice::new(10_000, 1e-3),
+        )
+        .record_completions(true)
+        .run();
+        let run_heap_move = Driver::new(
+            VecWorkload::new(reqs),
+            FifoScheduler::new(),
+            ConstantDevice::new(10_000, 1e-3),
+        )
+        .with_queue_policy::<HeapQueuePolicy>()
+        .with_request_store::<MoveStore>()
+        .record_completions(true)
+        .run();
+        assert_eq!(run_default.completed, run_heap_move.completed);
+        assert_eq!(run_default.makespan, run_heap_move.makespan);
+        assert_eq!(
+            run_default.response.mean().to_bits(),
+            run_heap_move.response.mean().to_bits()
+        );
+        let (a, b) = (
+            run_default.completions.as_ref().unwrap(),
+            run_heap_move.completions.as_ref().unwrap(),
+        );
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.request.id, y.request.id);
+            assert_eq!(x.start_service, y.start_service);
+            assert_eq!(x.completion, y.completion);
+        }
+    }
+
+    #[test]
+    fn pre_sized_queue_never_restructures() {
+        let reqs: Vec<Request> = (0..500).map(|i| req(i, i as f64 * 0.1, i * 8)).collect();
+        let r = Driver::new(
+            VecWorkload::new(reqs),
+            FifoScheduler::new(),
+            ConstantDevice::new(10_000, 1e-3),
+        )
+        .run();
+        assert_eq!(r.completed, 500);
+        assert_eq!(r.event_queue_restructures, 0);
     }
 
     #[test]

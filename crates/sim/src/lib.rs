@@ -46,6 +46,7 @@ pub mod profile;
 pub mod request;
 pub mod rng;
 pub mod sched;
+pub mod slab;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -57,11 +58,15 @@ pub use device::{
     ConstantDevice, PhaseEnergy, PositionOracle, PowerState, ServiceBreakdown, StorageDevice,
 };
 pub use driver::{Driver, SimReport};
-pub use event::{Event, EventQueue};
+pub use event::{
+    BinaryHeapEventQueue, CalendarQueuePolicy, Event, EventQueue, HeapQueuePolicy, QueuePolicy,
+    SimQueue,
+};
 pub use fault::{FaultClock, FaultEvent, FaultKind};
 pub use profile::{ProfScope, Profiler, ScopeStats};
 pub use request::{Completion, IoKind, Request, RequestId};
 pub use sched::{DynScheduler, FifoScheduler, SchedCounters, Scheduler};
+pub use slab::{MoveStore, RequestStore, Slab, SlabStore, SlotHandle};
 pub use stats::{Histogram, LogHistogram, ResponseStats, Welford};
 pub use telemetry::{Telemetry, TracerPair, Window};
 pub use time::SimTime;

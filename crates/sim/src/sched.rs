@@ -25,6 +25,9 @@ pub struct SchedCounters {
     pub candidates_examined: u64,
     /// Whole buckets skipped by a lower-bound prune (pruned SPTF only).
     pub buckets_pruned: u64,
+    /// Buckets answered from the incremental per-bucket best cache instead
+    /// of a rescan (incremental SPTF only).
+    pub cached_best_hits: u64,
 }
 
 /// A request scheduler: holds pending requests and picks the next one to

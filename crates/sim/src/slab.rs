@@ -1,0 +1,286 @@
+//! Slab allocation for in-flight request state.
+//!
+//! The driver's event loop used to move whole [`Request`] and
+//! [`Completion`] values through event-queue entries. A [`Slab`] parks the
+//! value once and threads a `u32` slot handle through the queue instead,
+//! shrinking event payloads to a word and eliminating per-event moves of
+//! request state. The [`RequestStore`] trait abstracts over the two
+//! strategies so the bit-identity tests can run the same simulation with
+//! handles ([`SlabStore`]) and with moved values ([`MoveStore`]) and compare
+//! reports.
+
+use crate::request::{Completion, Request};
+
+/// A slot handle into a [`Slab`].
+pub type SlotHandle = u32;
+
+/// A `Vec`-backed free-list arena handing out dense `u32` slot handles.
+///
+/// Freed slots are recycled LIFO, so a workload with bounded concurrency
+/// reuses the same few slots for its whole run and the backing `Vec` never
+/// grows past the concurrency high-water mark.
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::Slab;
+///
+/// let mut slab = Slab::new();
+/// let a = slab.insert("alpha");
+/// let b = slab.insert("beta");
+/// assert_eq!(slab.take(a), "alpha");
+/// // Slot `a` is recycled by the next insert.
+/// let c = slab.insert("gamma");
+/// assert_eq!(c, a);
+/// assert_eq!(slab.take(b), "beta");
+/// assert_eq!(slab.take(c), "gamma");
+/// assert!(slab.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<SlotHandle>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty slab with room for `capacity` live values before
+    /// the backing storage reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            len: 0,
+        }
+    }
+
+    /// Stores `value` and returns its slot handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX` slots.
+    pub fn insert(&mut self, value: T) -> SlotHandle {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            self.entries[slot as usize] = Some(value);
+            return slot;
+        }
+        let slot = SlotHandle::try_from(self.entries.len()).expect("slab exceeds u32 slots");
+        self.entries.push(Some(value));
+        slot
+    }
+
+    /// Removes and returns the value at `slot`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is vacant or out of bounds — handles are single-use.
+    pub fn take(&mut self, slot: SlotHandle) -> T {
+        let value = self.entries[slot as usize]
+            .take()
+            .expect("slot is occupied");
+        self.free.push(slot);
+        self.len -= 1;
+        value
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots (live + recyclable) the slab has materialized — the
+    /// concurrency high-water mark of the run.
+    pub fn high_water(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How the driver parks request state while its events are in flight.
+///
+/// The two implementations must be observationally identical: the driver
+/// puts a value, threads the handle through the event queue, and takes the
+/// value back exactly once when the event fires.
+pub trait RequestStore {
+    /// Handle type threaded through arrival events.
+    type ArrivalHandle;
+    /// Handle type threaded through completion events.
+    type CompletionHandle;
+
+    /// Creates an empty store.
+    fn new() -> Self;
+
+    /// Parks an arriving request, returning the handle for its event.
+    fn put_arrival(&mut self, request: Request) -> Self::ArrivalHandle;
+
+    /// Redeems an arrival handle.
+    fn take_arrival(&mut self, handle: Self::ArrivalHandle) -> Request;
+
+    /// Parks a completion record, returning the handle for its event.
+    fn put_completion(&mut self, completion: Completion) -> Self::CompletionHandle;
+
+    /// Redeems a completion handle.
+    fn take_completion(&mut self, handle: Self::CompletionHandle) -> Completion;
+
+    /// Whether put/take pairs are slab operations worth profiling (lets
+    /// the tracer skip timing the no-op [`MoveStore`]).
+    const IS_SLAB: bool;
+}
+
+/// Slab-backed store: events carry `u32` slot handles (the default).
+#[derive(Debug, Default)]
+pub struct SlabStore {
+    arrivals: Slab<Request>,
+    completions: Slab<Completion>,
+}
+
+impl RequestStore for SlabStore {
+    type ArrivalHandle = SlotHandle;
+    type CompletionHandle = SlotHandle;
+
+    const IS_SLAB: bool = true;
+
+    fn new() -> Self {
+        SlabStore {
+            arrivals: Slab::with_capacity(4),
+            completions: Slab::with_capacity(4),
+        }
+    }
+
+    fn put_arrival(&mut self, request: Request) -> SlotHandle {
+        self.arrivals.insert(request)
+    }
+
+    fn take_arrival(&mut self, handle: SlotHandle) -> Request {
+        self.arrivals.take(handle)
+    }
+
+    fn put_completion(&mut self, completion: Completion) -> SlotHandle {
+        self.completions.insert(completion)
+    }
+
+    fn take_completion(&mut self, handle: SlotHandle) -> Completion {
+        self.completions.take(handle)
+    }
+}
+
+/// Pass-by-value store: events carry the values themselves (the reference
+/// strategy the bit-identity tests compare [`SlabStore`] against).
+#[derive(Debug, Default)]
+pub struct MoveStore;
+
+impl RequestStore for MoveStore {
+    type ArrivalHandle = Request;
+    type CompletionHandle = Completion;
+
+    const IS_SLAB: bool = false;
+
+    fn new() -> Self {
+        MoveStore
+    }
+
+    fn put_arrival(&mut self, request: Request) -> Request {
+        request
+    }
+
+    fn take_arrival(&mut self, handle: Request) -> Request {
+        handle
+    }
+
+    fn put_completion(&mut self, completion: Completion) -> Completion {
+        completion
+    }
+
+    fn take_completion(&mut self, handle: Completion) -> Completion {
+        handle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoKind;
+    use crate::time::SimTime;
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        let c = slab.insert(3);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(slab.take(b), 2);
+        assert_eq!(slab.take(a), 1);
+        // LIFO recycling: `a` was freed last, so it is reused first.
+        assert_eq!(slab.insert(4), a);
+        assert_eq!(slab.insert(5), b);
+        assert_eq!(slab.insert(6), 3);
+        assert_eq!(slab.len(), 4);
+        assert_eq!(slab.high_water(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot is occupied")]
+    fn double_take_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(7);
+        assert_eq!(slab.take(a), 7);
+        let _ = slab.take(a);
+    }
+
+    #[test]
+    fn bounded_concurrency_bounds_high_water() {
+        let mut slab = Slab::with_capacity(2);
+        for i in 0..1000 {
+            let a = slab.insert(i);
+            let b = slab.insert(i + 1);
+            slab.take(a);
+            slab.take(b);
+        }
+        assert_eq!(slab.high_water(), 2);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn stores_round_trip_identically() {
+        fn round_trip<R: RequestStore>() -> (Request, Completion) {
+            let mut store = R::new();
+            let req = Request::new(9, SimTime::from_ms(1.0), 4096, 8, IoKind::Write);
+            let comp = Completion {
+                request: req,
+                start_service: SimTime::from_ms(2.0),
+                completion: SimTime::from_ms(3.0),
+            };
+            let h = store.put_arrival(req);
+            let hc = store.put_completion(comp);
+            let r = store.take_arrival(h);
+            let c = store.take_completion(hc);
+            (r, c)
+        }
+        let (slab_r, slab_c) = round_trip::<SlabStore>();
+        let (move_r, move_c) = round_trip::<MoveStore>();
+        assert_eq!(slab_r, move_r);
+        assert_eq!(slab_c.request, move_c.request);
+        assert_eq!(slab_c.completion, move_c.completion);
+    }
+}

@@ -16,6 +16,13 @@ use crate::request::Request;
 pub trait Workload {
     /// Returns the next request, or `None` when the workload is exhausted.
     fn next_request(&mut self) -> Option<Request>;
+
+    /// Number of requests still to come, if the source knows it. The
+    /// driver uses this to pre-size its event queue; `None` (the default)
+    /// means unknown, which is always safe.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A workload backed by a pre-generated vector of requests.
@@ -58,6 +65,10 @@ impl VecWorkload {
 impl Workload for VecWorkload {
     fn next_request(&mut self) -> Option<Request> {
         self.requests.next()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.requests.len() as u64)
     }
 }
 

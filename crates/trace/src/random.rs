@@ -107,6 +107,10 @@ impl Workload for RandomWorkload {
         self.next_id += 1;
         Some(req)
     }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
 }
 
 #[cfg(test)]

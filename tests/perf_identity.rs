@@ -1,0 +1,173 @@
+//! Bit-identity of every events/sec fast path against its reference.
+//!
+//! The perf work of the events/sec milestone swaps three engine components
+//! behind unchanged semantics: the calendar event queue (vs the binary
+//! heap), the slab request store (vs moving payloads through the queue),
+//! and the incremental SPTF pick (vs the rescan-every-pick B-tree index).
+//! Each swap must leave the `SimReport` of a Fig. 6-style cell
+//! bit-identical — same completions in the same order at the same times,
+//! same accumulated statistics — on both the MEMS device and the Atlas 10K
+//! disk. Any drift here means a fast path changed *what* is simulated, not
+//! just how fast.
+
+use atlas_disk::{DiskDevice, DiskParams};
+use mems_device::{MemsDevice, MemsParams};
+use mems_os::sched::{NaiveSptfScheduler, RescanSptfScheduler, SptfScheduler};
+use storage_sim::{
+    CalendarQueuePolicy, Driver, HeapQueuePolicy, MoveStore, Scheduler, SimReport, SlabStore,
+    StorageDevice, Workload,
+};
+use storage_trace::RandomWorkload;
+
+const CAPACITY: u64 = 6_750_000;
+/// The Fig. 6 saturation knee: deep queues, dense event traffic.
+const RATE: f64 = 2200.0;
+const REQUESTS: u64 = 1500;
+const SEED: u64 = 0x5EED_0006;
+
+fn mems_workload() -> RandomWorkload {
+    RandomWorkload::paper(CAPACITY, RATE, REQUESTS, SEED)
+}
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.completed, b.completed, "{what}: completed");
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan");
+    assert_eq!(a.response.mean_ms(), b.response.mean_ms(), "{what}: mean");
+    assert_eq!(
+        a.response.sq_coeff_var(),
+        b.response.sq_coeff_var(),
+        "{what}: cv2"
+    );
+    assert_eq!(a.busy_secs, b.busy_secs, "{what}: busy");
+    assert_eq!(a.max_queue_depth, b.max_queue_depth, "{what}: max queue");
+    let (ca, cb) = (
+        a.completions.as_ref().expect("recorded"),
+        b.completions.as_ref().expect("recorded"),
+    );
+    assert_eq!(ca.len(), cb.len(), "{what}: completion count");
+    for (x, y) in ca.iter().zip(cb) {
+        assert_eq!(x.request.id, y.request.id, "{what}: service order");
+        assert_eq!(x.start_service, y.start_service, "{what}: service start");
+        assert_eq!(x.completion, y.completion, "{what}: completion time");
+    }
+}
+
+/// Runs one Fig. 6-style cell with the default engine (calendar queue +
+/// slab store).
+fn run_default<W: Workload, S: Scheduler, D: storage_sim::StorageDevice>(
+    workload: W,
+    scheduler: S,
+    device: D,
+) -> SimReport {
+    Driver::new(workload, scheduler, device)
+        .warmup_requests(200)
+        .record_completions(true)
+        .run()
+}
+
+/// Same cell with the reference engine (binary-heap queue, payloads moved
+/// through the queue instead of parked in slabs).
+fn run_reference<W: Workload, S: Scheduler, D: storage_sim::StorageDevice>(
+    workload: W,
+    scheduler: S,
+    device: D,
+) -> SimReport {
+    Driver::new(workload, scheduler, device)
+        .with_queue_policy::<HeapQueuePolicy>()
+        .with_request_store::<MoveStore>()
+        .warmup_requests(200)
+        .record_completions(true)
+        .run()
+}
+
+#[test]
+fn calendar_queue_and_slab_match_heap_and_moves_on_mems() {
+    let fast = run_default(
+        mems_workload(),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    );
+    let reference = run_reference(
+        mems_workload(),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    );
+    assert_reports_identical(&fast, &reference, "MEMS queue+store");
+}
+
+#[test]
+fn calendar_queue_and_slab_match_heap_and_moves_on_disk() {
+    let disk = || DiskDevice::new(DiskParams::quantum_atlas_10k());
+    let capacity = disk().capacity_lbns();
+    let wl = || RandomWorkload::paper(capacity, 220.0, 1000, SEED);
+    let fast = run_default(wl(), SptfScheduler::new(), disk());
+    let reference = run_reference(wl(), SptfScheduler::new(), disk());
+    assert_reports_identical(&fast, &reference, "disk queue+store");
+}
+
+#[test]
+fn queue_policies_swap_independently_of_store() {
+    // The two axes are independent: calendar+moves and heap+slab must both
+    // match the default as well.
+    let fast = run_default(
+        mems_workload(),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    );
+    let cal_moves = Driver::new(
+        mems_workload(),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    )
+    .with_queue_policy::<CalendarQueuePolicy>()
+    .with_request_store::<MoveStore>()
+    .warmup_requests(200)
+    .record_completions(true)
+    .run();
+    let heap_slab = Driver::new(
+        mems_workload(),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    )
+    .with_queue_policy::<HeapQueuePolicy>()
+    .with_request_store::<SlabStore>()
+    .warmup_requests(200)
+    .record_completions(true)
+    .run();
+    assert_reports_identical(&fast, &cal_moves, "calendar+moves");
+    assert_reports_identical(&fast, &heap_slab, "heap+slab");
+}
+
+#[test]
+fn full_fast_stack_matches_full_reference_stack() {
+    // Everything on vs everything off, with the scheduler axis included:
+    // incremental SPTF + calendar + slab vs naive scan + heap + moves.
+    let fast = run_default(
+        mems_workload(),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    );
+    let reference = run_reference(
+        mems_workload(),
+        NaiveSptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    );
+    assert_reports_identical(&fast, &reference, "full stack");
+}
+
+#[test]
+fn incremental_pick_matches_rescan_under_reference_engine() {
+    // Cross axis: the scheduler swap must also hold when the engine runs
+    // on the reference queue and store.
+    let a = run_reference(
+        mems_workload(),
+        SptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    );
+    let b = run_reference(
+        mems_workload(),
+        RescanSptfScheduler::new(),
+        MemsDevice::new(MemsParams::default()),
+    );
+    assert_reports_identical(&a, &b, "incremental vs rescan on reference engine");
+}
