@@ -21,16 +21,21 @@
 mod raid0;
 mod raid1;
 mod raid5;
+mod vdev;
 
 pub use raid0::Raid0Device;
 pub use raid1::Raid1Device;
 pub use raid5::Raid5Device;
+pub use vdev::Vdev;
 
 use storage_sim::{Request, ServiceBreakdown, SimTime, StorageDevice};
 
 /// A per-member span of an array request.
+///
+/// Public so the fleet volume layer can route the same spans the array
+/// wrappers service in place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct MemberSpan {
+pub struct MemberSpan {
     /// Member index.
     pub member: usize,
     /// Member-local LBN.
@@ -42,12 +47,7 @@ pub(crate) struct MemberSpan {
 /// Splits the array-LBN range `[lbn, lbn+sectors)` into member spans
 /// under block interleaving with `stripe_unit` sectors per strip over
 /// `members` data members, merging adjacent spans on the same member.
-pub(crate) fn stripe_spans(
-    lbn: u64,
-    sectors: u32,
-    stripe_unit: u32,
-    members: usize,
-) -> Vec<MemberSpan> {
+pub fn stripe_spans(lbn: u64, sectors: u32, stripe_unit: u32, members: usize) -> Vec<MemberSpan> {
     let su = u64::from(stripe_unit);
     let n = members as u64;
     let mut spans: Vec<MemberSpan> = Vec::new();
@@ -76,9 +76,24 @@ pub(crate) fn stripe_spans(
     spans
 }
 
+/// Maps an array-logical strip to (data member, parity member,
+/// member-local base LBN) under the left-symmetric rotating-parity
+/// layout shared by [`Raid5Device`] and the RAID-Z vdev/volume paths.
+pub fn raidz_locate(strip: u64, members: usize, stripe_unit: u32) -> (usize, usize, u64) {
+    let n = members as u64;
+    let stripe = strip / (n - 1);
+    let within = strip % (n - 1);
+    let parity = (n - 1 - (stripe % n)) as usize;
+    let mut data = within as usize;
+    if data >= parity {
+        data += 1;
+    }
+    (data, parity, stripe * u64::from(stripe_unit))
+}
+
 /// Merges adjacent (lbn, sectors, kind) sub-requests on one member so a
 /// striped transfer reads each tip-sector row once.
-pub(crate) fn coalesce_spans(spans: &mut Vec<(u64, u32, storage_sim::IoKind)>) {
+pub fn coalesce_spans(spans: &mut Vec<(u64, u32, storage_sim::IoKind)>) {
     spans.sort_by_key(|&(lbn, _, _)| lbn);
     let mut out: Vec<(u64, u32, storage_sim::IoKind)> = Vec::with_capacity(spans.len());
     for &(lbn, sectors, kind) in spans.iter() {

@@ -58,17 +58,9 @@ impl<D: StorageDevice> Raid5Device<D> {
     }
 
     /// Maps an array-logical strip to (data member, parity member,
-    /// member-local LBN), left-symmetric.
+    /// member-local LBN), left-symmetric (see [`super::raidz_locate`]).
     pub fn locate(&self, strip: u64) -> (usize, usize, u64) {
-        let n = self.members.len() as u64;
-        let stripe = strip / (n - 1);
-        let within = strip % (n - 1);
-        let parity = (n - 1 - (stripe % n)) as usize;
-        let mut data = within as usize;
-        if data >= parity {
-            data += 1;
-        }
-        (data, parity, stripe * u64::from(self.stripe_unit))
+        super::raidz_locate(strip, self.members.len(), self.stripe_unit)
     }
 
     /// Splits an array request into per-strip pieces:

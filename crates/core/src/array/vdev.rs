@@ -1,0 +1,488 @@
+//! Recursive virtual devices: arbitrary stripe/mirror/parity composition.
+//!
+//! The flat wrappers ([`Raid0Device`](super::Raid0Device) and friends)
+//! compose raw devices one level deep. `Vdev` generalizes them into a
+//! recursive tree — a stripe of mirrors, a mirror of RAID-Z groups, any
+//! nesting — because every interior node is itself a
+//! [`StorageDevice`]. Each interior node runs *exactly* the flat
+//! wrapper's algorithm over its children, so a depth-1 `Vdev` is
+//! bit-identical to the corresponding `Raid{0,1,5}Device` (asserted by
+//! the `fleet_equivalence` integration test). The layering follows the
+//! bfffs vdev/cluster design named in the ROADMAP.
+
+use storage_sim::{IoKind, PositionOracle, Request, ServiceBreakdown, SimTime, StorageDevice};
+
+use super::{coalesce_spans, combine, raidz_locate, service_member, stripe_spans};
+
+/// A node in a recursive array composition tree.
+///
+/// # Examples
+///
+/// A stripe of mirror pairs (RAID-10) over four MEMS devices:
+///
+/// ```
+/// use mems_device::{MemsDevice, MemsParams};
+/// use mems_os::array::Vdev;
+/// use storage_sim::StorageDevice;
+///
+/// let pair = || {
+///     Vdev::mirror(
+///         (0..2)
+///             .map(|_| Vdev::leaf(MemsDevice::new(MemsParams::default())))
+///             .collect(),
+///     )
+/// };
+/// let volume = Vdev::stripe(vec![pair(), pair()], 64);
+/// // Two mirror pairs: half the raw capacity of four devices.
+/// assert_eq!(volume.capacity_lbns(), 2 * 2500 * 5 * 540);
+/// ```
+#[derive(Debug)]
+pub enum Vdev<D> {
+    /// A raw device at the bottom of the tree.
+    Leaf(D),
+    /// Block-interleaved striping across children (RAID-0 algorithm).
+    Stripe {
+        /// Child vdevs; requests split across all of them.
+        children: Vec<Vdev<D>>,
+        /// Sectors per strip.
+        stripe_unit: u32,
+        /// Display name.
+        name: String,
+    },
+    /// Mirroring with positioning-aware read steering (RAID-1 algorithm).
+    Mirror {
+        /// Child vdevs; reads steer to one, writes hit all.
+        children: Vec<Vdev<D>>,
+        /// Display name.
+        name: String,
+    },
+    /// Rotating parity, left-symmetric (RAID-5/RAID-Z algorithm).
+    RaidZ {
+        /// Child vdevs; one child's worth of capacity goes to parity.
+        children: Vec<Vdev<D>>,
+        /// Sectors per strip.
+        stripe_unit: u32,
+        /// Display name.
+        name: String,
+    },
+}
+
+impl<D: StorageDevice> Vdev<D> {
+    /// Wraps a raw device as a leaf node.
+    pub fn leaf(device: D) -> Self {
+        Vdev::Leaf(device)
+    }
+
+    /// Creates a striped node with `stripe_unit` sectors per strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two children or a zero stripe unit.
+    pub fn stripe(children: Vec<Vdev<D>>, stripe_unit: u32) -> Self {
+        assert!(children.len() >= 2, "striping needs at least two members");
+        assert!(stripe_unit > 0);
+        let name = format!("stripe x{} ({})", children.len(), children[0].name());
+        Vdev::Stripe {
+            children,
+            stripe_unit,
+            name,
+        }
+    }
+
+    /// Creates a mirrored node.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two children or mismatched capacities.
+    pub fn mirror(children: Vec<Vdev<D>>) -> Self {
+        assert!(children.len() >= 2, "mirroring needs at least two replicas");
+        let cap = children[0].capacity_lbns();
+        assert!(
+            children.iter().all(|c| c.capacity_lbns() == cap),
+            "replicas must have equal capacity"
+        );
+        let name = format!("mirror x{} ({})", children.len(), children[0].name());
+        Vdev::Mirror { children, name }
+    }
+
+    /// Creates a rotating-parity node with `stripe_unit` sectors per strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than three children or a zero stripe unit.
+    pub fn raidz(children: Vec<Vdev<D>>, stripe_unit: u32) -> Self {
+        assert!(children.len() >= 3, "RAID-Z needs at least three members");
+        assert!(stripe_unit > 0);
+        let name = format!("raidz x{} ({})", children.len(), children[0].name());
+        Vdev::RaidZ {
+            children,
+            stripe_unit,
+            name,
+        }
+    }
+
+    /// Number of direct children (1 for a leaf).
+    pub fn width(&self) -> usize {
+        match self {
+            Vdev::Leaf(_) => 1,
+            Vdev::Stripe { children, .. }
+            | Vdev::Mirror { children, .. }
+            | Vdev::RaidZ { children, .. } => children.len(),
+        }
+    }
+
+    /// Number of leaf devices in the whole subtree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Vdev::Leaf(_) => 1,
+            Vdev::Stripe { children, .. }
+            | Vdev::Mirror { children, .. }
+            | Vdev::RaidZ { children, .. } => children.iter().map(Vdev::leaf_count).sum(),
+        }
+    }
+
+    /// Index of the child a mirror read of `req` would steer to — the
+    /// smallest positioning estimate, exactly like
+    /// [`Raid1Device::steer`](super::Raid1Device::steer).
+    fn steer(children: &[Vdev<D>], req: &Request, now: SimTime) -> usize {
+        let mut best = 0usize;
+        let mut best_t = f64::INFINITY;
+        for (i, r) in children.iter().enumerate() {
+            let t = r.position_time(req, now);
+            if t < best_t {
+                best_t = t;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Splits a RAID-Z request into per-strip pieces:
+    /// (strip, offset-in-strip, sectors).
+    fn raidz_pieces(req: &Request, stripe_unit: u32) -> Vec<(u64, u32, u32)> {
+        let su = u64::from(stripe_unit);
+        let mut out = Vec::new();
+        let mut a = req.lbn;
+        let end = req.end_lbn();
+        while a < end {
+            let strip = a / su;
+            let offset = (a % su) as u32;
+            let chunk = (su - u64::from(offset)).min(end - a) as u32;
+            out.push((strip, offset, chunk));
+            a += u64::from(chunk);
+        }
+        out
+    }
+}
+
+impl<D: StorageDevice> PositionOracle for Vdev<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        match self {
+            Vdev::Leaf(d) => d.position_time(req, now),
+            Vdev::Stripe {
+                children,
+                stripe_unit,
+                ..
+            } => {
+                // The first touched member's positioning dominates small
+                // requests (the Raid0Device rule).
+                let spans = stripe_spans(req.lbn, req.sectors, *stripe_unit, children.len());
+                let s = spans[0];
+                let sub = Request::new(req.id, req.arrival, s.lbn, s.sectors, req.kind);
+                children[s.member].position_time(&sub, now)
+            }
+            Vdev::Mirror { children, .. } => match req.kind {
+                IoKind::Read => {
+                    let target = Self::steer(children, req, now);
+                    children[target].position_time(req, now)
+                }
+                IoKind::Write => children
+                    .iter()
+                    .map(|r| r.position_time(req, now))
+                    .fold(0.0, f64::max),
+            },
+            Vdev::RaidZ {
+                children,
+                stripe_unit,
+                ..
+            } => {
+                let su = u64::from(*stripe_unit);
+                let strip = req.lbn / su;
+                let (data, _, base) = raidz_locate(strip, children.len(), *stripe_unit);
+                let sub = Request::new(
+                    req.id,
+                    req.arrival,
+                    base + req.lbn % su,
+                    req.sectors.min(*stripe_unit),
+                    req.kind,
+                );
+                children[data].position_time(&sub, now)
+            }
+        }
+    }
+}
+
+impl<D: StorageDevice> StorageDevice for Vdev<D> {
+    fn name(&self) -> &str {
+        match self {
+            Vdev::Leaf(d) => d.name(),
+            Vdev::Stripe { name, .. } | Vdev::Mirror { name, .. } | Vdev::RaidZ { name, .. } => {
+                name
+            }
+        }
+    }
+
+    fn capacity_lbns(&self) -> u64 {
+        match self {
+            Vdev::Leaf(d) => d.capacity_lbns(),
+            Vdev::Stripe { children, .. } => {
+                children.iter().map(StorageDevice::capacity_lbns).sum()
+            }
+            Vdev::Mirror { children, .. } => children[0].capacity_lbns(),
+            Vdev::RaidZ { children, .. } => {
+                // One child's capacity worth of parity across the group.
+                let per = children[0].capacity_lbns();
+                per * (children.len() as u64 - 1)
+            }
+        }
+    }
+
+    fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown {
+        match self {
+            Vdev::Leaf(d) => d.service(req, now),
+            Vdev::Stripe {
+                children,
+                stripe_unit,
+                ..
+            } => {
+                let cap: u64 = children.iter().map(StorageDevice::capacity_lbns).sum();
+                assert!(req.end_lbn() <= cap, "beyond array capacity");
+                let spans = stripe_spans(req.lbn, req.sectors, *stripe_unit, children.len());
+                let mut slowest = 0.0f64;
+                let mut first = ServiceBreakdown::default();
+                for (m, child) in children.iter_mut().enumerate() {
+                    let mut member_spans: Vec<(u64, u32, IoKind)> = spans
+                        .iter()
+                        .filter(|s| s.member == m)
+                        .map(|s| (s.lbn, s.sectors, req.kind))
+                        .collect();
+                    if member_spans.is_empty() {
+                        continue;
+                    }
+                    coalesce_spans(&mut member_spans);
+                    let (t, b) = service_member(child, &member_spans, req, now);
+                    if t > slowest {
+                        slowest = t;
+                        first = b;
+                    }
+                }
+                combine(slowest, first)
+            }
+            Vdev::Mirror { children, .. } => match req.kind {
+                IoKind::Read => {
+                    let target = Self::steer(children, req, now);
+                    children[target].service(req, now)
+                }
+                IoKind::Write => {
+                    let mut slowest = ServiceBreakdown::default();
+                    for r in children.iter_mut() {
+                        let b = r.service(req, now);
+                        if b.total() > slowest.total() {
+                            slowest = b;
+                        }
+                    }
+                    slowest
+                }
+            },
+            Vdev::RaidZ {
+                children,
+                stripe_unit,
+                ..
+            } => {
+                let per = children[0].capacity_lbns();
+                let cap = per * (children.len() as u64 - 1);
+                assert!(req.end_lbn() <= cap, "beyond array capacity");
+                // Per-member accumulated busy time for this request;
+                // members work in parallel, pieces on one serialize.
+                let mut busy = vec![0.0f64; children.len()];
+                let mut first = ServiceBreakdown::default();
+                let mut first_set = false;
+                let full_stripe_width = (children.len() - 1) as u64 * u64::from(*stripe_unit);
+                let full_stripe_aligned = req.kind == IoKind::Write
+                    && req.lbn.is_multiple_of(full_stripe_width)
+                    && u64::from(req.sectors) % full_stripe_width == 0;
+
+                for (strip, offset, sectors) in Self::raidz_pieces(req, *stripe_unit) {
+                    let (data, parity, base) = raidz_locate(strip, children.len(), *stripe_unit);
+                    let lbn = base + u64::from(offset);
+                    match req.kind {
+                        IoKind::Read => {
+                            let sub = Request::new(req.id, req.arrival, lbn, sectors, IoKind::Read);
+                            let b =
+                                children[data].service(&sub, now + SimTime::from_secs(busy[data]));
+                            if !first_set {
+                                first = b;
+                                first_set = true;
+                            }
+                            busy[data] += b.total();
+                        }
+                        IoKind::Write if full_stripe_aligned => {
+                            let wd = Request::new(req.id, req.arrival, lbn, sectors, IoKind::Write);
+                            let b =
+                                children[data].service(&wd, now + SimTime::from_secs(busy[data]));
+                            if !first_set {
+                                first = b;
+                                first_set = true;
+                            }
+                            busy[data] += b.total();
+                            if strip % (children.len() as u64 - 1) == 0 {
+                                let wp = Request::new(
+                                    req.id,
+                                    req.arrival,
+                                    base,
+                                    *stripe_unit,
+                                    IoKind::Write,
+                                );
+                                let b = children[parity]
+                                    .service(&wp, now + SimTime::from_secs(busy[parity]));
+                                busy[parity] += b.total();
+                            }
+                        }
+                        IoKind::Write => {
+                            // Small write: read-modify-write on data and
+                            // parity.
+                            for member in [data, parity] {
+                                let rd =
+                                    Request::new(req.id, req.arrival, lbn, sectors, IoKind::Read);
+                                let br = children[member]
+                                    .service(&rd, now + SimTime::from_secs(busy[member]));
+                                if !first_set {
+                                    first = br;
+                                    first_set = true;
+                                }
+                                busy[member] += br.total();
+                                let wr =
+                                    Request::new(req.id, req.arrival, lbn, sectors, IoKind::Write);
+                                let bw = children[member]
+                                    .service(&wr, now + SimTime::from_secs(busy[member]));
+                                busy[member] += bw.total();
+                            }
+                        }
+                    }
+                }
+                let slowest = busy.iter().copied().fold(0.0, f64::max);
+                combine(slowest, first)
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Vdev::Leaf(d) => d.reset(),
+            Vdev::Stripe { children, .. }
+            | Vdev::Mirror { children, .. }
+            | Vdev::RaidZ { children, .. } => {
+                for c in children {
+                    c.reset();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Raid0Device, Raid1Device, Raid5Device};
+    use super::*;
+    use mems_device::{MemsDevice, MemsParams};
+
+    fn mems() -> MemsDevice {
+        MemsDevice::new(MemsParams::default())
+    }
+
+    fn leaves(n: usize) -> Vec<Vdev<MemsDevice>> {
+        (0..n).map(|_| Vdev::leaf(mems())).collect()
+    }
+
+    fn read(lbn: u64, sectors: u32) -> Request {
+        Request::new(0, SimTime::ZERO, lbn, sectors, IoKind::Read)
+    }
+
+    fn write(lbn: u64, sectors: u32) -> Request {
+        Request::new(0, SimTime::ZERO, lbn, sectors, IoKind::Write)
+    }
+
+    #[test]
+    fn depth1_stripe_matches_raid0_exactly() {
+        let mut v = Vdev::stripe(leaves(4), 64);
+        let mut r = Raid0Device::new((0..4).map(|_| mems()).collect(), 64);
+        assert_eq!(v.capacity_lbns(), r.capacity_lbns());
+        for (i, &(lbn, sectors)) in [(0, 8), (100, 2048), (5_000, 17), (123, 1)]
+            .iter()
+            .enumerate()
+        {
+            let rq = Request::new(i as u64, SimTime::ZERO, lbn, sectors, IoKind::Read);
+            let bv = v.service(&rq, SimTime::from_ms(i as f64));
+            let br = r.service(&rq, SimTime::from_ms(i as f64));
+            assert_eq!(bv.total().to_bits(), br.total().to_bits());
+            assert_eq!(bv.positioning.to_bits(), br.positioning.to_bits());
+        }
+    }
+
+    #[test]
+    fn depth1_mirror_matches_raid1_exactly() {
+        let mut v = Vdev::mirror(leaves(2));
+        let mut r = Raid1Device::new((0..2).map(|_| mems()).collect());
+        for (i, rq) in [read(0, 8), write(9_000, 16), read(1_000_000, 8)]
+            .iter()
+            .enumerate()
+        {
+            let bv = v.service(rq, SimTime::from_ms(i as f64));
+            let br = r.service(rq, SimTime::from_ms(i as f64));
+            assert_eq!(bv.total().to_bits(), br.total().to_bits());
+        }
+    }
+
+    #[test]
+    fn depth1_raidz_matches_raid5_exactly() {
+        let mut v = Vdev::raidz(leaves(5), 8);
+        let mut r = Raid5Device::new((0..5).map(|_| mems()).collect(), 8);
+        assert_eq!(v.capacity_lbns(), r.capacity_lbns());
+        // Read, small write (RMW), and full-stripe write (4 data x 8).
+        for (i, rq) in [read(800, 8), write(800, 8), write(0, 32), read(64, 64)]
+            .iter()
+            .enumerate()
+        {
+            let bv = v.service(rq, SimTime::from_ms(i as f64));
+            let br = r.service(rq, SimTime::from_ms(i as f64));
+            assert_eq!(bv.total().to_bits(), br.total().to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_stripe_of_mirrors_has_mirror_capacity() {
+        let pair = || Vdev::mirror(leaves(2));
+        let v = Vdev::stripe(vec![pair(), pair()], 64);
+        assert_eq!(v.capacity_lbns(), 2 * 6_750_000);
+        assert_eq!(v.leaf_count(), 4);
+        assert_eq!(v.width(), 2);
+    }
+
+    #[test]
+    fn nested_mirror_write_lands_on_every_leaf() {
+        // A stripe-of-mirrors write to one strip must busy both replicas
+        // of that mirror; reading it back right after is positioning-free
+        // on the steered replica.
+        let pair = || Vdev::mirror(leaves(2));
+        let mut v = Vdev::stripe(vec![pair(), pair()], 64);
+        let w = v.service(&write(0, 8), SimTime::ZERO);
+        let r = v.service(&read(0, 8), SimTime::ZERO);
+        assert!(r.positioning <= w.positioning + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn raidz_needs_three() {
+        let _ = Vdev::raidz(leaves(2), 8);
+    }
+}

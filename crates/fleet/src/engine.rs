@@ -1,0 +1,500 @@
+//! The sharded fleet engine: per-station event loops, sim-time barriers,
+//! and the deterministic cross-shard completion merge.
+//!
+//! # Execution model
+//!
+//! Every leaf device is a **station**: its own request queue, scheduler,
+//! and calendar-queue event loop (a [`Driver`] stepped through the
+//! session API). Stations are partitioned contiguously into **shards**;
+//! worker threads advance whole shards to a common sim-time **barrier**,
+//! then the main thread drains each station's completions and merges
+//! them into one globally ordered stream.
+//!
+//! # Determinism guarantee
+//!
+//! Fleet results are bit-identical for any shard count, worker-thread
+//! count, and barrier (epoch) width:
+//!
+//! * routing happens at setup time, so station timelines are **causally
+//!   independent** — no station's events depend on another station's
+//!   runtime state, and each station's event sequence is exactly what a
+//!   standalone [`Driver::run`] would produce;
+//! * the merge orders completions by `(completion time, station index,
+//!   station drain order)`, a total order independent of which shard or
+//!   thread produced them;
+//! * barriers only batch the merge: `advance_until(b)` drains *every*
+//!   completion at or before `b`, so batches are disjoint time slices
+//!   and their concatenation is the same total order for any width.
+//!
+//! With one station, the merged stream is the station's own completion
+//! order, so a `shards = 1` fleet reproduces the single-loop driver
+//! bit for bit (asserted by the `fleet_equivalence` integration test).
+
+use storage_sim::{
+    Completion, Driver, FaultClock, IoKind, LogHistogram, Request, ResponseStats, RunState,
+    Scheduler, SimReport, SimTime, StorageDevice, VecWorkload, Welford,
+};
+
+use crate::volume::{SubIo, VolumeSpec};
+
+/// Fleet execution parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of station groups advanced as units between barriers.
+    pub shards: usize,
+    /// Worker threads advancing shards in parallel (1 = fully serial).
+    pub threads: usize,
+    /// Barrier spacing in sim time; results are invariant to it.
+    pub epoch: SimTime,
+    /// Leading foreground completions excluded from fleet statistics.
+    pub warmup_requests: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 1,
+            threads: 1,
+            epoch: SimTime::from_ms(10.0),
+            warmup_requests: 0,
+        }
+    }
+}
+
+/// Aggregated results of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Foreground fleet requests completed (after warm-up exclusion).
+    pub completed: u64,
+    /// Background (e.g. rebuild) requests completed.
+    pub background_completed: u64,
+    /// Per-station sub-I/Os completed, foreground and background.
+    pub subs_completed: u64,
+    /// Sim-time of the last sub-I/O completion anywhere in the fleet.
+    pub makespan: SimTime,
+    /// Foreground response times (arrival to last sub), seconds.
+    pub response: ResponseStats,
+    /// Foreground time-to-first-service, seconds.
+    pub queue_time: Welford,
+    /// Foreground first-service-to-last-completion, seconds.
+    pub service_time: Welford,
+    /// Background response times, seconds.
+    pub background_response: Welford,
+    /// Log-spaced histogram of foreground response times (p99.9 source).
+    pub tail: LogHistogram,
+    /// Total device busy time across every station, seconds.
+    pub busy_secs: f64,
+    /// Fault events delivered across the fleet.
+    pub fault_events: u64,
+    /// Largest scheduler queue depth seen at any station.
+    pub max_station_queue_depth: usize,
+    /// Event-queue restructures summed over stations; the routed
+    /// per-station `len_hint` pre-sizing keeps this at zero.
+    pub station_restructures: u64,
+    /// Each station's own [`SimReport`], in station order.
+    pub stations: Vec<SimReport>,
+}
+
+impl FleetReport {
+    /// Fleet throughput in foreground requests per simulated second.
+    pub fn throughput(&self) -> f64 {
+        let span = self.makespan.as_secs();
+        if span > 0.0 {
+            self.completed as f64 / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean station utilization: total busy time over stations x makespan.
+    pub fn utilization(&self) -> f64 {
+        let span = self.makespan.as_secs() * self.stations.len() as f64;
+        if span > 0.0 {
+            self.busy_secs / span
+        } else {
+            0.0
+        }
+    }
+
+    /// A quantile of the foreground response-time distribution, from the
+    /// log-spaced tail histogram (e.g. `0.999` for p99.9).
+    pub fn tail_quantile(&self, q: f64) -> f64 {
+        self.tail.quantile(q)
+    }
+
+    /// A compact bit-exact fingerprint of the run, for determinism
+    /// assertions: every float is rendered as its IEEE-754 bit pattern,
+    /// so two digests match only if the runs are bit-identical.
+    pub fn digest(&self) -> String {
+        format!(
+            "fg={} bg={} subs={} mk={:016x} rm={:016x} rmax={:016x} qm={:016x} sm={:016x} \
+             p999={:016x} busy={:016x} faults={} depth={} restr={}",
+            self.completed,
+            self.background_completed,
+            self.subs_completed,
+            self.makespan.as_secs().to_bits(),
+            self.response.mean().to_bits(),
+            self.response.max().to_bits(),
+            self.queue_time.mean().to_bits(),
+            self.service_time.mean().to_bits(),
+            self.tail_quantile(0.999).to_bits(),
+            self.busy_secs.to_bits(),
+            self.fault_events,
+            self.max_station_queue_depth,
+            self.station_restructures,
+        )
+    }
+}
+
+/// One station mid-run: its driver plus the session loop state.
+struct Cell<S: Scheduler, D: StorageDevice> {
+    driver: Driver<VecWorkload, S, D>,
+    state: RunState,
+    pending: bool,
+}
+
+/// Reassembles per-station sub-I/O completions into fleet-level request
+/// completions, in the deterministic merged order.
+struct Assembler {
+    remaining: Vec<u32>,
+    arrival: Vec<SimTime>,
+    first_start: Vec<SimTime>,
+    last_end: Vec<SimTime>,
+}
+
+/// A fully assembled fleet request: every routed sub-I/O has completed.
+struct FleetCompletion {
+    id: u64,
+    arrival: SimTime,
+    first_start: SimTime,
+    end: SimTime,
+}
+
+impl Assembler {
+    fn new(expected: Vec<u32>, arrival: Vec<SimTime>) -> Self {
+        let n = expected.len();
+        Assembler {
+            remaining: expected,
+            arrival,
+            first_start: vec![SimTime::from_secs(f64::INFINITY); n],
+            last_end: vec![SimTime::ZERO; n],
+        }
+    }
+
+    /// Feeds one sub-I/O completion; returns the assembled fleet
+    /// completion when it was the request's last outstanding sub.
+    fn feed(&mut self, c: &Completion) -> Option<FleetCompletion> {
+        let id = c.request.id as usize;
+        self.first_start[id] = self.first_start[id].min(c.start_service);
+        self.last_end[id] = self.last_end[id].max(c.completion);
+        self.remaining[id] -= 1;
+        if self.remaining[id] == 0 {
+            Some(FleetCompletion {
+                id: c.request.id,
+                arrival: self.arrival[id],
+                first_start: self.first_start[id],
+                end: self.last_end[id],
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// A sharded multi-station fleet simulation.
+///
+/// Build one with [`FleetEngine::new`] (foreground requests routed
+/// through a [`VolumeSpec`]), optionally attach per-station fault clocks
+/// and background streams, then [`FleetEngine::run`] it.
+pub struct FleetEngine<S: Scheduler, D: StorageDevice> {
+    devices: Vec<D>,
+    schedulers: Vec<S>,
+    workloads: Vec<Vec<Request>>,
+    faults: Vec<FaultClock>,
+    expected: Vec<u32>,
+    arrivals: Vec<SimTime>,
+    foreground: u64,
+    config: FleetConfig,
+}
+
+impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
+    /// Routes `requests` (fleet-level, addressed in the volume's LBN
+    /// space, ids dense from 0 in arrival order) through `volume` onto
+    /// the stations and prepares one driver per device.
+    ///
+    /// Per-station workloads are materialized up front, so each
+    /// station's `len_hint` is the *routed* per-station request count —
+    /// the calendar queues pre-size exactly and never restructure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volume references a station outside `devices`, if
+    /// request ids are not dense `0..n` in order, or if the config asks
+    /// for zero shards/threads or a non-positive epoch.
+    pub fn new(
+        devices: Vec<D>,
+        mut make_scheduler: impl FnMut(usize) -> S,
+        volume: &VolumeSpec,
+        requests: &[Request],
+        config: FleetConfig,
+    ) -> Self {
+        assert!(!devices.is_empty(), "fleet needs at least one device");
+        assert!(
+            volume.max_station() < devices.len(),
+            "volume references station {} but the fleet has {} devices",
+            volume.max_station(),
+            devices.len()
+        );
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.threads >= 1, "need at least one worker thread");
+        assert!(config.epoch > SimTime::ZERO, "epoch must be positive");
+
+        let n = devices.len();
+        let schedulers = (0..n).map(&mut make_scheduler).collect();
+        let mut workloads: Vec<Vec<Request>> = vec![Vec::new(); n];
+        let mut expected = Vec::with_capacity(requests.len());
+        let mut arrivals = Vec::with_capacity(requests.len());
+        let mut subs: Vec<SubIo> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            assert_eq!(
+                req.id, i as u64,
+                "fleet request ids must be dense 0..n in order"
+            );
+            subs.clear();
+            volume.route(req, &mut subs);
+            expected.push(subs.len() as u32);
+            arrivals.push(req.arrival);
+            for sub in &subs {
+                workloads[sub.station].push(Request::new(
+                    req.id,
+                    req.arrival,
+                    sub.lbn,
+                    sub.sectors,
+                    sub.kind,
+                ));
+            }
+        }
+
+        FleetEngine {
+            devices,
+            schedulers,
+            workloads,
+            faults: (0..n).map(|_| FaultClock::empty()).collect(),
+            expected,
+            arrivals,
+            foreground: requests.len() as u64,
+            config,
+        }
+    }
+
+    /// Number of stations.
+    pub fn stations(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Sub-I/Os routed to station `station`.
+    pub fn routed_len(&self, station: usize) -> usize {
+        self.workloads[station].len()
+    }
+
+    /// Attaches a fault clock to one station's device.
+    pub fn set_station_faults(&mut self, station: usize, clock: FaultClock) {
+        self.faults[station] = clock;
+    }
+
+    /// Queues a background (rebuild, scrub, migration) sub-I/O directly
+    /// on one station, bypassing volume routing. Returns the assigned
+    /// fleet id (background ids follow the foreground block). Background
+    /// completions are reported separately from foreground statistics.
+    pub fn add_background(
+        &mut self,
+        station: usize,
+        at: SimTime,
+        lbn: u64,
+        sectors: u32,
+        kind: IoKind,
+    ) -> u64 {
+        let id = self.expected.len() as u64;
+        self.expected.push(1);
+        self.arrivals.push(at);
+        self.workloads[station].push(Request::new(id, at, lbn, sectors, kind));
+        id
+    }
+
+    /// Runs the fleet to exhaustion and aggregates the report.
+    ///
+    /// `Send` bounds exist so shards can advance on worker threads; with
+    /// `threads == 1` everything runs on the caller's thread.
+    pub fn run(mut self) -> FleetReport
+    where
+        S: Send,
+        D: Send,
+    {
+        let n = self.devices.len();
+        let config = self.config;
+
+        // Background pushes may land before already-queued foreground
+        // subs; per-station order must be by arrival. The sort is stable,
+        // so equal-arrival subs keep insertion (fleet) order.
+        for w in &mut self.workloads {
+            w.sort_by_key(|r| r.arrival);
+        }
+
+        let mut cells: Vec<Cell<S, D>> = Vec::with_capacity(n);
+        for ((device, scheduler), (workload, faults)) in self
+            .devices
+            .into_iter()
+            .zip(self.schedulers)
+            .zip(self.workloads.into_iter().zip(self.faults))
+        {
+            let mut driver = Driver::new(VecWorkload::new(workload), scheduler, device)
+                .record_completions(true)
+                .with_faults(faults);
+            let state = driver.begin();
+            let pending = state.pending_events() > 0;
+            cells.push(Cell {
+                driver,
+                state,
+                pending,
+            });
+        }
+
+        let mut assembler = Assembler::new(self.expected, self.arrivals);
+        let mut report = FleetReport {
+            completed: 0,
+            background_completed: 0,
+            subs_completed: 0,
+            makespan: SimTime::ZERO,
+            response: ResponseStats::new(),
+            queue_time: Welford::new(),
+            service_time: Welford::new(),
+            background_response: Welford::new(),
+            tail: LogHistogram::response_times(),
+            busy_secs: 0.0,
+            fault_events: 0,
+            max_station_queue_depth: 0,
+            station_restructures: 0,
+            stations: Vec::with_capacity(n),
+        };
+        let mut station_completions: Vec<Vec<Completion>> = vec![Vec::new(); n];
+        let mut emitted_fg: u64 = 0;
+        let mut batch: Vec<(Completion, usize)> = Vec::new();
+        let epoch_secs = config.epoch.as_secs();
+
+        // Run until every station's event queue is empty. The barrier is
+        // the smallest epoch-grid point covering the earliest pending
+        // event anywhere (a pure function of sim state — identical for
+        // every shard/thread split).
+        while let Some(next) = cells.iter().filter_map(|c| c.state.next_event_time()).min() {
+            let grid = SimTime::from_secs((next.as_secs() / epoch_secs).ceil() * epoch_secs);
+            let barrier = grid.max(next);
+
+            advance_shards(&mut cells, barrier, config.shards, config.threads);
+
+            // Drain in station order, then impose the global order:
+            // (completion time, station, per-station drain order). The
+            // sort is stable, so the third key is implicit.
+            batch.clear();
+            for (i, cell) in cells.iter_mut().enumerate() {
+                for c in cell.state.drain_completions() {
+                    batch.push((c, i));
+                }
+            }
+            batch.sort_by(|a, b| a.0.completion.cmp(&b.0.completion).then(a.1.cmp(&b.1)));
+
+            for &(c, station) in batch.iter() {
+                report.subs_completed += 1;
+                station_completions[station].push(c);
+                if let Some(fc) = assembler.feed(&c) {
+                    report.makespan = report.makespan.max(fc.end);
+                    let response = (fc.end - fc.arrival).as_secs();
+                    if fc.id < self.foreground {
+                        emitted_fg += 1;
+                        if emitted_fg > config.warmup_requests {
+                            report.completed += 1;
+                            report.response.push(response);
+                            report
+                                .queue_time
+                                .push((fc.first_start - fc.arrival).as_secs());
+                            report
+                                .service_time
+                                .push((fc.end - fc.first_start).as_secs());
+                            report.tail.push(response);
+                        }
+                    } else {
+                        report.background_completed += 1;
+                        report.background_response.push(response);
+                    }
+                }
+            }
+        }
+
+        for (cell, completions) in cells.into_iter().zip(station_completions) {
+            let Cell {
+                mut driver, state, ..
+            } = cell;
+            let mut station = driver.finish(state);
+            report.busy_secs += station.busy_secs;
+            report.fault_events += station.fault_events;
+            report.station_restructures += station.event_queue_restructures;
+            report.max_station_queue_depth =
+                report.max_station_queue_depth.max(station.max_queue_depth);
+            station.completions = Some(completions);
+            report.stations.push(station);
+        }
+        report
+    }
+}
+
+/// Advances every station to `barrier`, shard by shard. Shards are
+/// contiguous station ranges; worker threads take shards round-robin.
+/// Stations never share state, so the split is embarrassingly parallel
+/// and the post-barrier fleet state is independent of both knobs.
+fn advance_shards<S: Scheduler + Send, D: StorageDevice + Send>(
+    cells: &mut [Cell<S, D>],
+    barrier: SimTime,
+    shards: usize,
+    threads: usize,
+) {
+    let n = cells.len();
+    let shards = shards.min(n).max(1);
+    let mut slices: Vec<&mut [Cell<S, D>]> = Vec::with_capacity(shards);
+    let mut rest = cells;
+    let mut start = 0;
+    for s in 0..shards {
+        let end = (s + 1) * n / shards;
+        let (head, tail) = rest.split_at_mut(end - start);
+        slices.push(head);
+        rest = tail;
+        start = end;
+    }
+
+    let advance = |shard: &mut [Cell<S, D>]| {
+        for cell in shard.iter_mut() {
+            if cell.pending {
+                cell.pending = cell.driver.advance_until(&mut cell.state, barrier);
+            }
+        }
+    };
+
+    if threads <= 1 || shards <= 1 {
+        for shard in slices {
+            advance(shard);
+        }
+    } else {
+        let workers = threads.min(shards);
+        let mut queues: Vec<Vec<&mut [Cell<S, D>]>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, shard) in slices.into_iter().enumerate() {
+            queues[i % workers].push(shard);
+        }
+        std::thread::scope(|scope| {
+            for queue in queues {
+                scope.spawn(move || {
+                    for shard in queue {
+                        advance(shard);
+                    }
+                });
+            }
+        });
+    }
+}

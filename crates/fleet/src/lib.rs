@@ -1,0 +1,31 @@
+//! Fleet-scale multi-device simulation.
+//!
+//! The paper evaluates one MEMS device at a time; serving real traffic
+//! takes a **fleet**. This crate runs hundreds to thousands of devices
+//! as a storage cluster:
+//!
+//! * [`VolumeSpec`] — a stripe/mirror/RAID-Z composition tree that
+//!   routes fleet-level requests into per-station sub-I/Os using the
+//!   same span and parity math as the `mems_os::array` wrappers;
+//! * [`FleetEngine`] — per-station event loops (each a
+//!   [`storage_sim::Driver`] stepped through its session API) sharded
+//!   across worker threads and stitched by a deterministic cross-shard
+//!   completion merge at sim-time barriers;
+//! * [`RebuildPlan`] — paced background copy streams for
+//!   rebuild-under-load experiments, layered on the per-station
+//!   [`storage_sim::FaultClock`] fault machinery.
+//!
+//! Results are bit-identical for any shard count, thread count, and
+//! barrier width (see the [`engine`] module docs for the argument), so
+//! every fleet experiment stays replayable byte for byte — the same
+//! contract the single-device figures honor.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rebuild;
+pub mod volume;
+
+pub use engine::{FleetConfig, FleetEngine, FleetReport};
+pub use rebuild::RebuildPlan;
+pub use volume::{SubIo, VolumeSpec};

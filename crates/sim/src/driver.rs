@@ -87,6 +87,52 @@ enum Ev<A, C> {
     Fault(FaultKind),
 }
 
+/// Loop state of an in-progress simulation session, produced by
+/// [`Driver::begin`] and consumed by [`Driver::finish`].
+///
+/// Extracting the state lets callers interleave many drivers on one
+/// thread — the fleet engine steps every device of a shard to a common
+/// sim-time barrier via [`Driver::advance_until`], draining completions
+/// between barriers with [`RunState::drain_completions`]. The fields are
+/// exactly the locals of the pre-session one-shot loop, so stepped runs
+/// and [`Driver::run`] share one code path and one result.
+pub struct RunState<Q: QueuePolicy = CalendarQueuePolicy, R: RequestStore = SlabStore> {
+    events: Q::Queue<Ev<R::ArrivalHandle, R::CompletionHandle>>,
+    report: SimReport,
+    device_busy: bool,
+    completed_total: u64,
+    depth_integral: f64,
+    last_event_time: SimTime,
+    last_arrival: SimTime,
+    run_start: Option<Instant>,
+    event_count: u64,
+}
+
+impl<Q: QueuePolicy, R: RequestStore> RunState<Q, R> {
+    /// Number of events still pending in the queue. Zero means the run is
+    /// over: nothing is in flight and the workload chain has ended.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Sim-time of the earliest pending event, if any. The fleet engine
+    /// uses the minimum across stations to pick the next barrier.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Takes every completion recorded so far (in completion order),
+    /// leaving the recording buffer empty for the next barrier interval.
+    /// Returns an empty vector unless the driver was built with
+    /// [`Driver::record_completions`]`(true)`.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        match self.report.completions.as_mut() {
+            Some(all) => std::mem::take(all),
+            None => Vec::new(),
+        }
+    }
+}
+
 /// Pushes with the event-queue scope timer (compiled out unless the tracer
 /// profiles). Free function so the tracer and queue borrows stay disjoint.
 fn push_timed<T: Tracer, P, Q: SimQueue<P>>(
@@ -318,10 +364,26 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
 
     /// Runs the workload to exhaustion and returns the aggregated report.
     ///
+    /// Equivalent to [`Driver::begin`], advancing through every event, then
+    /// [`Driver::finish`] — the session methods are the same code path, so
+    /// a run driven through them (as the fleet engine does, barrier by
+    /// barrier) is bit-identical to this one-shot call.
+    ///
     /// # Panics
     ///
     /// Panics if the workload yields decreasing arrival times.
     pub fn run(&mut self) -> SimReport {
+        let mut state = self.begin();
+        self.advance_inner(&mut state, None);
+        self.finish(state)
+    }
+
+    /// Starts a resumable simulation session: primes the event queue with
+    /// the first arrival (and the first fault, if a clock is attached) and
+    /// returns the loop state. Drive it with [`Driver::advance_until`] and
+    /// close it with [`Driver::finish`]; [`Driver::run`] composes exactly
+    /// these steps, so a stepped run reproduces a one-shot run bit for bit.
+    pub fn begin(&mut self) -> RunState<Q, R> {
         // The pending-event population is bounded by the chains, not the
         // workload: one in-flight arrival, one completion, and (with a
         // non-empty fault clock) one fault. Tiny workloads bound it lower
@@ -334,7 +396,7 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
         } as usize;
         let mut events: Q::Queue<Ev<R::ArrivalHandle, R::CompletionHandle>> =
             SimQueue::with_capacity(capacity);
-        let mut report = SimReport {
+        let report = SimReport {
             completed: 0,
             makespan: SimTime::ZERO,
             response: ResponseStats::new(),
@@ -353,50 +415,83 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             },
         };
 
-        let mut last_arrival = match self.workload.next_request() {
-            Some(first) => {
-                let at = first.arrival;
-                let handle = self.park_arrival(first);
-                push_timed(&mut self.tracer, &mut events, at, Ev::Arrival(handle));
-                at
-            }
-            None => return report,
-        };
+        let mut last_arrival = SimTime::ZERO;
+        let mut primed = false;
+        if let Some(first) = self.workload.next_request() {
+            let at = first.arrival;
+            last_arrival = at;
+            let handle = self.park_arrival(first);
+            push_timed(&mut self.tracer, &mut events, at, Ev::Arrival(handle));
+            primed = true;
+        }
 
         // Faults enter the queue one at a time (the clock is already time-
         // ordered); each delivery schedules its successor, exactly like the
         // workload's arrival chain. An empty clock pushes nothing, so the
-        // fault-free event sequence is untouched.
-        if let Some(fault) = self.faults.pop() {
-            push_timed(
-                &mut self.tracer,
-                &mut events,
-                fault.at,
-                Ev::Fault(fault.kind),
-            );
+        // fault-free event sequence is untouched. An empty *workload*
+        // schedules nothing at all — not even faults — matching the
+        // pre-session driver, which returned before touching the clock.
+        if primed {
+            if let Some(fault) = self.faults.pop() {
+                push_timed(
+                    &mut self.tracer,
+                    &mut events,
+                    fault.at,
+                    Ev::Fault(fault.kind),
+                );
+            }
         }
 
-        let mut device_busy = false;
-        let mut completed_total: u64 = 0;
-        let mut depth_integral = 0.0; // ∫ queue_depth dt
-        let mut last_event_time = SimTime::ZERO;
-        // Wall-clock self-profiling: reads the host clock but never feeds
-        // anything back into the simulation, so simulated results are
-        // identical with or without it.
-        let run_start = if T::PROFILE {
-            Some(Instant::now())
-        } else {
-            None
-        };
-        let mut event_count: u64 = 0;
+        RunState {
+            events,
+            report,
+            device_busy: false,
+            completed_total: 0,
+            depth_integral: 0.0,
+            last_event_time: SimTime::ZERO,
+            last_arrival,
+            // Wall-clock self-profiling: reads the host clock but never
+            // feeds anything back into the simulation, so simulated
+            // results are identical with or without it.
+            run_start: if T::PROFILE && primed {
+                Some(Instant::now())
+            } else {
+                None
+            },
+            event_count: 0,
+        }
+    }
 
-        while let Some(event) = pop_timed(&mut self.tracer, &mut events) {
+    /// Processes every event scheduled at or before `limit`, in exactly the
+    /// order the one-shot [`Driver::run`] loop would. Returns `true` while
+    /// events remain pending beyond the limit — the caller advances the
+    /// barrier and calls again. The fleet engine uses this to step every
+    /// device of a shard to a common sim-time barrier.
+    pub fn advance_until(&mut self, state: &mut RunState<Q, R>, limit: SimTime) -> bool {
+        self.advance_inner(state, Some(limit))
+    }
+
+    /// The event loop shared by [`Driver::run`] (no limit) and
+    /// [`Driver::advance_until`] (barrier-bounded). With `limit == None`
+    /// the peek is skipped entirely, so the one-shot hot path is untouched.
+    fn advance_inner(&mut self, state: &mut RunState<Q, R>, limit: Option<SimTime>) -> bool {
+        loop {
+            if let Some(limit) = limit {
+                match state.events.peek_time() {
+                    Some(t) if t <= limit => {}
+                    _ => break,
+                }
+            }
+            let Some(event) = pop_timed(&mut self.tracer, &mut state.events) else {
+                break;
+            };
             let now = event.at;
             if T::PROFILE {
-                event_count += 1;
+                state.event_count += 1;
             }
-            depth_integral += self.scheduler.len() as f64 * (now - last_event_time).as_secs();
-            last_event_time = now;
+            state.depth_integral +=
+                self.scheduler.len() as f64 * (now - state.last_event_time).as_secs();
+            state.last_event_time = now;
             if T::ENABLED {
                 self.tracer.on_queue_depth(now, self.scheduler.len());
             }
@@ -408,40 +503,49 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
                     if T::ENABLED {
                         self.tracer.on_arrival(&req, now, self.scheduler.len());
                     }
-                    report.max_queue_depth = report.max_queue_depth.max(self.scheduler.len());
+                    state.report.max_queue_depth =
+                        state.report.max_queue_depth.max(self.scheduler.len());
                     if let Some(next) = self.workload.next_request() {
                         assert!(
-                            next.arrival >= last_arrival,
+                            next.arrival >= state.last_arrival,
                             "workload arrival times must be non-decreasing"
                         );
-                        last_arrival = next.arrival;
+                        state.last_arrival = next.arrival;
                         let at = next.arrival;
                         let handle = self.park_arrival(next);
-                        push_timed(&mut self.tracer, &mut events, at, Ev::Arrival(handle));
+                        push_timed(&mut self.tracer, &mut state.events, at, Ev::Arrival(handle));
                     }
-                    if !device_busy {
-                        device_busy = self.start_next(now, &mut events, &mut report);
+                    if !state.device_busy {
+                        state.device_busy =
+                            self.start_next(now, &mut state.events, &mut state.report);
                     }
                 }
                 Ev::Complete(handle) => {
                     let completion = self.redeem_completion(handle);
-                    completed_total += 1;
-                    if completed_total > self.warmup_requests {
-                        report.completed += 1;
-                        report.response.push(completion.response_time().as_secs());
-                        report.queue_time.push(completion.queue_time().as_secs());
-                        report
+                    state.completed_total += 1;
+                    if state.completed_total > self.warmup_requests {
+                        state.report.completed += 1;
+                        state
+                            .report
+                            .response
+                            .push(completion.response_time().as_secs());
+                        state
+                            .report
+                            .queue_time
+                            .push(completion.queue_time().as_secs());
+                        state
+                            .report
                             .service_time
                             .push(completion.service_time().as_secs());
                     }
-                    report.makespan = report.makespan.max(completion.completion);
+                    state.report.makespan = state.report.makespan.max(completion.completion);
                     if T::ENABLED {
                         self.tracer.on_complete(&completion);
                     }
-                    if let Some(all) = report.completions.as_mut() {
+                    if let Some(all) = state.report.completions.as_mut() {
                         all.push(completion);
                     }
-                    device_busy = self.start_next(now, &mut events, &mut report);
+                    state.device_busy = self.start_next(now, &mut state.events, &mut state.report);
                 }
                 Ev::Fault(kind) => {
                     // Faults never preempt: the device absorbs the state
@@ -456,26 +560,37 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
                         self.tracer
                             .on_scope(ProfScope::FaultDelivery, t0.elapsed().as_nanos() as u64);
                     }
-                    report.fault_events += 1;
+                    state.report.fault_events += 1;
                     if T::ENABLED {
                         self.tracer.on_fault(&kind, now);
                     }
                     if let Some(next) = self.faults.pop() {
-                        push_timed(&mut self.tracer, &mut events, next.at, Ev::Fault(next.kind));
+                        push_timed(
+                            &mut self.tracer,
+                            &mut state.events,
+                            next.at,
+                            Ev::Fault(next.kind),
+                        );
                     }
                 }
             }
         }
+        !state.events.is_empty()
+    }
 
-        if let Some(run_start) = run_start {
+    /// Closes a session and returns the aggregated report. Call after
+    /// [`Driver::advance_until`] reports no pending events; finishing a
+    /// session with events still queued simply leaves them unprocessed.
+    pub fn finish(&mut self, state: RunState<Q, R>) -> SimReport {
+        if let Some(run_start) = state.run_start {
             self.tracer
-                .on_run_wall(event_count, run_start.elapsed().as_nanos() as u64);
+                .on_run_wall(state.event_count, run_start.elapsed().as_nanos() as u64);
         }
-
-        report.event_queue_restructures = events.restructures();
+        let mut report = state.report;
+        report.event_queue_restructures = state.events.restructures();
         let span = report.makespan.as_secs();
         report.mean_queue_depth = if span > 0.0 {
-            depth_integral / span
+            state.depth_integral / span
         } else {
             0.0
         };

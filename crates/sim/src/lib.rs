@@ -57,7 +57,7 @@ pub use closed::{closed_loop, ClosedReport, RequestSource};
 pub use device::{
     ConstantDevice, PhaseEnergy, PositionOracle, PowerState, ServiceBreakdown, StorageDevice,
 };
-pub use driver::{Driver, SimReport};
+pub use driver::{Driver, RunState, SimReport};
 pub use event::{
     BinaryHeapEventQueue, CalendarQueuePolicy, Event, EventQueue, HeapQueuePolicy, QueuePolicy,
     SimQueue,

@@ -1,0 +1,163 @@
+//! The flat RAID wrappers and the recursive fleet vdev tree are the
+//! same machine: a `Raid{0,1,5}Device` served by the single-loop
+//! [`Driver`] and a one-station [`FleetEngine`] whose station device is
+//! the equivalent [`Vdev`] produce byte-identical [`SimReport`]s, on
+//! MEMS and on disk.
+
+use atlas_disk::{DiskDevice, DiskParams};
+use mems_device::{MemsDevice, MemsParams};
+use mems_os::array::{Raid0Device, Raid1Device, Raid5Device, Vdev};
+use mems_os::sched::SptfScheduler;
+use storage_sim::{Driver, Request, SimReport, StorageDevice, VecWorkload, Workload};
+use storage_trace::RandomWorkload;
+
+use mems_fleet::{FleetConfig, FleetEngine, VolumeSpec};
+
+const STRIPE_UNIT: u32 = 64;
+const REQUESTS: u64 = 600;
+
+fn collect(mut w: impl Workload) -> Vec<Request> {
+    let mut out = Vec::new();
+    while let Some(r) = w.next_request() {
+        out.push(r);
+    }
+    out
+}
+
+/// Serve `requests` through the single-loop driver.
+fn solo_run<D: StorageDevice>(device: D, requests: &[Request]) -> SimReport {
+    Driver::new(
+        VecWorkload::new(requests.to_vec()),
+        SptfScheduler::new(),
+        device,
+    )
+    .record_completions(true)
+    .run()
+}
+
+/// Serve `requests` through a one-station fleet whose station device is
+/// the vdev tree, returning that station's report.
+fn fleet_run<D: StorageDevice + Send>(device: Vdev<D>, requests: &[Request]) -> SimReport {
+    let mut fleet = FleetEngine::new(
+        vec![device],
+        |_| SptfScheduler::new(),
+        &VolumeSpec::leaf(0),
+        requests,
+        FleetConfig::default(),
+    )
+    .run();
+    fleet.stations.remove(0)
+}
+
+/// Every field that the driver fills in, compared bit for bit.
+fn assert_reports_identical(wrapper: &SimReport, vdev: &SimReport) {
+    assert_eq!(wrapper.completed, vdev.completed);
+    assert_eq!(wrapper.makespan, vdev.makespan);
+    assert_eq!(
+        wrapper.response.mean().to_bits(),
+        vdev.response.mean().to_bits()
+    );
+    assert_eq!(
+        wrapper.service_time.mean().to_bits(),
+        vdev.service_time.mean().to_bits()
+    );
+    assert_eq!(wrapper.busy_secs.to_bits(), vdev.busy_secs.to_bits());
+    assert_eq!(
+        wrapper.mean_queue_depth.to_bits(),
+        vdev.mean_queue_depth.to_bits()
+    );
+    let (a, b) = (
+        wrapper.completions.as_ref().unwrap(),
+        vdev.completions.as_ref().unwrap(),
+    );
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.request.id, y.request.id);
+        assert_eq!(x.start_service, y.start_service);
+        assert_eq!(x.completion, y.completion);
+    }
+}
+
+/// Run one wrapper-vs-vdev pair over the paper's random workload.
+fn check<W, D>(wrapper: W, vdev: Vdev<D>, rate: f64)
+where
+    W: StorageDevice,
+    D: StorageDevice + Send,
+{
+    assert_eq!(
+        wrapper.capacity_lbns(),
+        vdev.capacity_lbns(),
+        "wrapper and vdev must expose the same address space"
+    );
+    let requests = collect(RandomWorkload::paper(
+        wrapper.capacity_lbns(),
+        rate,
+        REQUESTS,
+        0xF1EE7,
+    ));
+    let solo = solo_run(wrapper, &requests);
+    let fleet = fleet_run(vdev, &requests);
+    assert_reports_identical(&solo, &fleet);
+}
+
+fn mems() -> MemsDevice {
+    MemsDevice::new(MemsParams::default())
+}
+
+fn disk() -> DiskDevice {
+    DiskDevice::new(DiskParams::quantum_atlas_10k())
+}
+
+#[test]
+fn raid0_wrapper_matches_one_station_fleet_vdev_on_mems() {
+    check(
+        Raid0Device::new((0..4).map(|_| mems()).collect(), STRIPE_UNIT),
+        Vdev::stripe((0..4).map(|_| Vdev::leaf(mems())).collect(), STRIPE_UNIT),
+        2000.0,
+    );
+}
+
+#[test]
+fn raid1_wrapper_matches_one_station_fleet_vdev_on_mems() {
+    check(
+        Raid1Device::new((0..2).map(|_| mems()).collect()),
+        Vdev::mirror((0..2).map(|_| Vdev::leaf(mems())).collect()),
+        1200.0,
+    );
+}
+
+#[test]
+fn raid5_wrapper_matches_one_station_fleet_vdev_on_mems() {
+    check(
+        Raid5Device::new((0..5).map(|_| mems()).collect(), STRIPE_UNIT),
+        Vdev::raidz((0..5).map(|_| Vdev::leaf(mems())).collect(), STRIPE_UNIT),
+        1600.0,
+    );
+}
+
+#[test]
+fn raid0_wrapper_matches_one_station_fleet_vdev_on_disk() {
+    check(
+        Raid0Device::new((0..4).map(|_| disk()).collect(), STRIPE_UNIT),
+        Vdev::stripe((0..4).map(|_| Vdev::leaf(disk())).collect(), STRIPE_UNIT),
+        600.0,
+    );
+}
+
+#[test]
+fn raid1_wrapper_matches_one_station_fleet_vdev_on_disk() {
+    check(
+        Raid1Device::new((0..2).map(|_| disk()).collect()),
+        Vdev::mirror((0..2).map(|_| Vdev::leaf(disk())).collect()),
+        400.0,
+    );
+}
+
+#[test]
+fn raid5_wrapper_matches_one_station_fleet_vdev_on_disk() {
+    check(
+        Raid5Device::new((0..5).map(|_| disk()).collect(), STRIPE_UNIT),
+        Vdev::raidz((0..5).map(|_| Vdev::leaf(disk())).collect(), STRIPE_UNIT),
+        500.0,
+    );
+}
