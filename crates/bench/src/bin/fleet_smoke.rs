@@ -17,7 +17,9 @@
 //! identical digests, and a one-station fleet must reproduce the
 //! single-loop [`Driver`] bit for bit — any divergence exits non-zero
 //! before a single CSV is written. Pass `--determinism-only` to run just
-//! the gate (the CI `fleet-scale determinism` step does).
+//! the gate (the CI `fleet-scale determinism` step does). Pass `--long`
+//! for the informational 10× horizon: CSVs land under `target/long/`
+//! and the byte-gated goldens in `results/` are never touched.
 
 use mems_bench::{surfaced_mems_device, write_csv, Table};
 use mems_device::MemsParams;
@@ -45,14 +47,36 @@ fn collect(mut w: impl Workload) -> Vec<Request> {
     out
 }
 
-/// Builds and runs a striped fleet of `devices` MEMS stations.
-fn scale_cell(devices: usize, shards: usize, threads: usize) -> FleetReport {
+/// Writes a CSV to the byte-gated goldens (`results/`) or, on the
+/// informational `--long` horizon, to `target/long/` so the goldens stay
+/// untouched.
+fn emit_csv(long: bool, name: &str, contents: &str) {
+    if !long {
+        write_csv(name, contents);
+        return;
+    }
+    let dir = std::path::Path::new("target/long");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Builds and runs a striped fleet of `devices` MEMS stations with
+/// `scale ×` the baseline request count.
+fn scale_cell(devices: usize, shards: usize, threads: usize, scale: u64) -> FleetReport {
     let params = MemsParams::default();
     let volume = VolumeSpec::flat(devices, STRIPE_UNIT);
+    let reqs = SCALE_REQS_PER_DEV * devices as u64 * scale;
     let requests = collect(RandomWorkload::paper(
         volume.capacity(MEMS_CAPACITY),
         SCALE_RATE_PER_DEV * devices as f64,
-        SCALE_REQS_PER_DEV * devices as u64,
+        reqs,
         WORKLOAD_SEED,
     ));
     FleetEngine::new(
@@ -66,7 +90,7 @@ fn scale_cell(devices: usize, shards: usize, threads: usize) -> FleetReport {
             shards,
             threads,
             epoch: SimTime::from_ms(10.0),
-            warmup_requests: (SCALE_REQS_PER_DEV * devices as u64) / 20,
+            warmup_requests: reqs / 20,
         },
     )
     .run()
@@ -76,9 +100,9 @@ fn scale_cell(devices: usize, shards: usize, threads: usize) -> FleetReport {
 /// equivalence. Exits the process non-zero on any divergence.
 fn determinism_gate() {
     // One cell, five shard/thread splits: identical digests required.
-    let baseline = scale_cell(16, 1, 1);
+    let baseline = scale_cell(16, 1, 1, 1);
     for (shards, threads) in [(4, 1), (4, 4), (16, 8)] {
-        let run = scale_cell(16, shards, threads);
+        let run = scale_cell(16, shards, threads, 1);
         if run.digest() != baseline.digest() {
             eprintln!("FAIL: fleet digest diverged at shards={shards} threads={threads}");
             eprintln!("  baseline: {}", baseline.digest());
@@ -154,7 +178,7 @@ fn determinism_gate() {
     println!("determinism gate: shards 1/4/16, threads 1/4/8 identical; shards=1 == Driver::run\n");
 }
 
-fn scaling_experiment(t: &mut Vec<String>) {
+fn scaling_experiment(t: &mut Vec<String>, scale: u64, long: bool) {
     let mut table = Table::new(vec![
         "devices".into(),
         "requests".into(),
@@ -170,7 +194,7 @@ fn scaling_experiment(t: &mut Vec<String>) {
     for devices in [1usize, 4, 16, 64, 256, 1024] {
         let shards = devices.min(16);
         let threads = shards.min(8);
-        let r = scale_cell(devices, shards, threads);
+        let r = scale_cell(devices, shards, threads, scale);
         assert_eq!(r.station_restructures, 0, "pre-sizing must hold at scale");
         let capacity = VolumeSpec::flat(devices, STRIPE_UNIT).capacity(MEMS_CAPACITY);
         table.row(vec![
@@ -197,13 +221,13 @@ fn scaling_experiment(t: &mut Vec<String>) {
         "fleet scaling (constant per-device load):\n{}",
         table.render()
     );
-    write_csv("fleet_scale.csv", &csv);
+    emit_csv(long, "fleet_scale.csv", &csv);
     t.push("fleet_scale.csv".into());
 }
 
-fn tail_experiment(t: &mut Vec<String>) {
+fn tail_experiment(t: &mut Vec<String>, scale: u64, long: bool) {
     const DEVICES: usize = 64;
-    const REQS: u64 = 200 * DEVICES as u64;
+    let reqs: u64 = 200 * DEVICES as u64 * scale;
     let params = MemsParams::default();
     let volume = VolumeSpec::flat(DEVICES, STRIPE_UNIT);
     let mut table = Table::new(vec![
@@ -221,7 +245,7 @@ fn tail_experiment(t: &mut Vec<String>) {
         let requests = collect(RandomWorkload::paper(
             volume.capacity(MEMS_CAPACITY),
             rate_per_dev * DEVICES as f64,
-            REQS,
+            reqs,
             WORKLOAD_SEED,
         ));
         let mut r = FleetEngine::new(
@@ -235,7 +259,7 @@ fn tail_experiment(t: &mut Vec<String>) {
                 shards: 16,
                 threads: 8,
                 epoch: SimTime::from_ms(10.0),
-                warmup_requests: REQS / 20,
+                warmup_requests: reqs / 20,
             },
         )
         .run();
@@ -262,16 +286,16 @@ fn tail_experiment(t: &mut Vec<String>) {
         ));
     }
     println!("fleet tail latency (64 devices):\n{}", table.render());
-    write_csv("fleet_tail.csv", &csv);
+    emit_csv(long, "fleet_tail.csv", &csv);
     t.push("fleet_tail.csv".into());
 }
 
-fn rebuild_experiment(t: &mut Vec<String>) {
+fn rebuild_experiment(t: &mut Vec<String>, scale: u64, long: bool) {
     // RAID-10: a stripe of four mirror pairs over eight degraded-capable
     // MEMS devices. Station 0 loses tips at t = 0.5 s; the rebuild
     // stream copies its mirror peer (station 1) back, paced at 2 ms.
     const PAIRS: usize = 4;
-    const REQS: u64 = 4000;
+    let reqs: u64 = 4000 * scale;
     const RATE: f64 = 2000.0;
     let params = MemsParams::default();
     let pair =
@@ -283,7 +307,7 @@ fn rebuild_experiment(t: &mut Vec<String>) {
     let requests = collect(RandomWorkload::paper(
         volume.capacity(MEMS_CAPACITY),
         RATE,
-        REQS,
+        reqs,
         WORKLOAD_SEED,
     ));
     let build = || {
@@ -301,7 +325,7 @@ fn rebuild_experiment(t: &mut Vec<String>) {
                 shards: 4,
                 threads: 4,
                 epoch: SimTime::from_ms(10.0),
-                warmup_requests: REQS / 20,
+                warmup_requests: reqs / 20,
             },
         )
     };
@@ -373,19 +397,22 @@ fn rebuild_experiment(t: &mut Vec<String>) {
         "rebuild under load (RAID-10, 8 devices):\n{}",
         table.render()
     );
-    write_csv("fleet_rebuild.csv", &csv);
+    emit_csv(long, "fleet_rebuild.csv", &csv);
     t.push("fleet_rebuild.csv".into());
 }
 
 fn main() {
-    let determinism_only = std::env::args().any(|a| a == "--determinism-only");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let determinism_only = args.iter().any(|a| a == "--determinism-only");
+    let long = args.iter().any(|a| a == "--long");
     determinism_gate();
     if determinism_only {
         return;
     }
+    let scale = if long { 10 } else { 1 };
     let mut written = Vec::new();
-    scaling_experiment(&mut written);
-    tail_experiment(&mut written);
-    rebuild_experiment(&mut written);
+    scaling_experiment(&mut written, scale, long);
+    tail_experiment(&mut written, scale, long);
+    rebuild_experiment(&mut written, scale, long);
     println!("wrote {}", written.join(", "));
 }

@@ -105,6 +105,7 @@ fn main() -> ExitCode {
                     turnaround_count,
                     overhead,
                     fault_recovery,
+                    background_wait: 0.0,
                 };
                 services.insert(id, (t, lbn, sectors, b));
                 service_order.push(id);

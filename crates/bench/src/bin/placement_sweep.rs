@@ -1,0 +1,378 @@
+//! Adaptive vs static placement on skewed workloads.
+//!
+//! Three series per workload, all under SPTF on the surfaced MEMS
+//! device:
+//!
+//! * `bare` — no placement layer (the device's native layout);
+//! * `organ_static` — the strongest static baseline: an offline
+//!   organ-pipe permutation built from a *complete frequency census of
+//!   the exact request stream*, served through the same wrapper with
+//!   migrations off;
+//! * `adaptive` — the online policy: identity start, decayed frequency
+//!   tracking, idle-window migration toward the center.
+//!
+//! Workloads: classical Zipf(0.99) block popularity (spatially
+//! scattered — good for any frequency-aware layout, static or online)
+//! and a shifting hotspot (the span relocates every epoch — a static
+//! layout can only average over epochs, an online one chases the drift).
+//!
+//! Every row is split into a `foreground` phase (driver-visible response
+//! stats) and a `migration` phase (the wrapper's separately-accounted
+//! migration traffic: chunk I/O tails, busy time, energy, and the wait
+//! it imposed on foreground arrivals), so migration cost is visible,
+//! not amortized away. Output: byte-stable `results/placement_sweep.csv`.
+//!
+//! The bin opens with an in-process zero-migration identity gate: a
+//! migrations-off wrap at the identity placement must reproduce the
+//! bare device bit for bit on MEMS and disk, or the process exits
+//! non-zero before any CSV is written (pass `--identity-only` to run
+//! just the gate, as the CI step does). It closes with the headline
+//! gate: adaptive must beat the static organ pipe's foreground mean on
+//! the shifting-hotspot workload. Pass `--long` for the informational
+//! 10× horizon (CSV under `target/long/`, goldens untouched).
+
+use atlas_disk::{DiskDevice, DiskParams};
+use mems_bench::{surfaced_mems_device, write_csv, Table};
+use mems_device::MemsParams;
+use mems_os::layout::OrganPipeMap;
+use mems_os::placement::{AdaptiveDevice, MigrationStats, PlacementConfig};
+use mems_os::sched::SptfScheduler;
+use storage_sim::{Driver, Request, SimReport, StorageDevice, VecWorkload, Workload};
+use storage_trace::{RandomWorkload, ShiftingHotspotWorkload, ZipfWorkload};
+
+const MEMS_CAPACITY: u64 = 6_750_000;
+const WORKLOAD_SEED: u64 = 42;
+/// Placement granularity: 512 KB blocks (1024 sectors). Coarse blocks
+/// matter twice: each hot block collects enough accesses per half-life
+/// for its decayed weight to be a low-noise signal (fine blocks thrash
+/// — similar-weight hot blocks endlessly displace each other), and the
+/// whole working set moves in tens of swaps rather than hundreds.
+const BLOCK_SECTORS: u32 = 1024;
+const RATE: f64 = 500.0;
+const REQUESTS: u64 = 900_000;
+const WARMUP: u64 = 2_000;
+/// Hot working set: 0.5% of the device (~33.7k sectors, 64 scattered
+/// fragments of ~527 sectors, ~100 placement blocks). Compact enough
+/// that each gathered block repays its 2 MB swap many times over within
+/// one epoch, and that idle-window bandwidth re-centers the whole set
+/// in the first third of an epoch. The *union* of all 60 epochs still
+/// covers over half the device, which is what starves the static
+/// baseline: it can only organ-pipe that diluted union, while the
+/// online policy re-gathers each epoch's compact set.
+const HOT_SECTORS: u64 = MEMS_CAPACITY / 200;
+/// The working set relocates every 15 s — 120 epochs over the 1800 s run.
+const EPOCH_SECS: f64 = 15.0;
+const HOT_FRACTION: f64 = 0.9;
+/// ON/OFF arrivals: bursts of 50 requests (a 100 ms mean cycle at the
+/// 500 req/s long-run rate) separated by ~60 ms idle gaps — the regime
+/// idle-window migration is designed for. Pure Poisson gaps are
+/// memoryless, so every idle-triggered swap would overrun the next
+/// arrival and the wait bill would drown the placement benefit.
+const BURST_LEN: u64 = 50;
+const BURST_IDLE: f64 = 0.060;
+
+fn placement_config(migrate: bool) -> PlacementConfig {
+    PlacementConfig {
+        block_sectors: BLOCK_SECTORS,
+        // Half-life well under the epoch: ex-working-set blocks decay
+        // to displaceable within ~1–2 s of the shift, so the new set
+        // can take over the center early in its epoch.
+        half_life: 1.0,
+        idle_window: 4e-3,
+        max_swaps_per_window: 4,
+        hysteresis: 1.5,
+        // The working set is ~220 blocks; once a block is inside the
+        // innermost ~couple hundred ranks, further inward shuffling buys
+        // nothing. 64 ranks ≈ 32 cylinders of displacement minimum.
+        min_rank_gain: 64,
+        // Hot blocks sustain ~10 decayed accesses; Poisson clustering
+        // on warm Zipf-tail blocks rarely spikes past 4, so the floor
+        // keeps the tail from buying migrations it cannot repay.
+        min_heat: 4.0,
+        migrate,
+    }
+}
+
+fn collect(mut w: impl Workload) -> Vec<Request> {
+    let mut out = Vec::new();
+    while let Some(r) = w.next_request() {
+        out.push(r);
+    }
+    out
+}
+
+/// Offline frequency census: accesses per placement block over the
+/// whole request stream (the same spanning-block rule the tracker
+/// uses).
+fn census(requests: &[Request], capacity: u64) -> Vec<f64> {
+    let bs = u64::from(BLOCK_SECTORS);
+    let n_blocks = (capacity / bs) as usize;
+    let mut freqs = vec![0.0f64; n_blocks];
+    for r in requests {
+        let first = r.lbn / bs;
+        let last = (r.end_lbn().max(r.lbn + 1) - 1) / bs;
+        for b in first..=last.min(n_blocks as u64 - 1) {
+            freqs[b as usize] += 1.0;
+        }
+    }
+    freqs
+}
+
+/// One series: runs the request stream and returns the report plus the
+/// wrapper's migration stats (`None` for the bare series).
+fn run_series(requests: &[Request], series: &str) -> (SimReport, Option<MigrationStats>) {
+    let params = MemsParams::default();
+    let workload = VecWorkload::new(requests.to_vec());
+    match series {
+        "bare" => {
+            let mut driver = Driver::new(
+                workload,
+                SptfScheduler::new(),
+                surfaced_mems_device(&params),
+            )
+            .warmup_requests(WARMUP);
+            (driver.run(), None)
+        }
+        "organ_static" => {
+            let map = OrganPipeMap::build(&census(requests, MEMS_CAPACITY));
+            let dev = AdaptiveDevice::new(surfaced_mems_device(&params), placement_config(false))
+                .with_initial_placement(&map);
+            let mut driver =
+                Driver::new(workload, SptfScheduler::new(), dev).warmup_requests(WARMUP);
+            let report = driver.run();
+            let stats = driver.device().migration_stats().clone();
+            (report, Some(stats))
+        }
+        "adaptive" => {
+            let dev = AdaptiveDevice::new(surfaced_mems_device(&params), placement_config(true));
+            let mut driver =
+                Driver::new(workload, SptfScheduler::new(), dev).warmup_requests(WARMUP);
+            let report = driver.run();
+            let stats = driver.device().migration_stats().clone();
+            (report, Some(stats))
+        }
+        _ => unreachable!("unknown series"),
+    }
+}
+
+/// Field-by-field bit comparison of two reports (the zero-migration
+/// identity gate's notion of "identical").
+fn reports_identical(a: &SimReport, b: &SimReport) -> bool {
+    let completions_match = match (&a.completions, &b.completions) {
+        (Some(x), Some(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(p, q)| {
+                    p.request.id == q.request.id
+                        && p.start_service == q.start_service
+                        && p.completion == q.completion
+                })
+        }
+        _ => false,
+    };
+    a.completed == b.completed
+        && a.makespan == b.makespan
+        && a.response.mean().to_bits() == b.response.mean().to_bits()
+        && a.response.max().to_bits() == b.response.max().to_bits()
+        && a.busy_secs.to_bits() == b.busy_secs.to_bits()
+        && a.breakdown_sum.positioning.to_bits() == b.breakdown_sum.positioning.to_bits()
+        && a.breakdown_sum.transfer.to_bits() == b.breakdown_sum.transfer.to_bits()
+        && a.breakdown_sum.background_wait.to_bits() == b.breakdown_sum.background_wait.to_bits()
+        && completions_match
+}
+
+/// The zero-migration identity gate: a migrations-off wrap at the
+/// identity placement must be bit-identical to the bare device, on MEMS
+/// and on the disk baseline. Exits non-zero on divergence.
+fn identity_gate() {
+    fn gate<D: StorageDevice + Clone>(label: &str, device: D, capacity: u64) {
+        let requests = collect(RandomWorkload::paper(capacity, RATE, 4_000, WORKLOAD_SEED));
+        let bare = Driver::new(
+            VecWorkload::new(requests.clone()),
+            SptfScheduler::new(),
+            device.clone(),
+        )
+        .record_completions(true)
+        .run();
+        let wrapped = Driver::new(
+            VecWorkload::new(requests),
+            SptfScheduler::new(),
+            AdaptiveDevice::new(device, placement_config(false)),
+        )
+        .record_completions(true)
+        .run();
+        if !reports_identical(&bare, &wrapped) {
+            eprintln!("FAIL: migrations-off wrap diverged from the bare device on {label}");
+            eprintln!(
+                "  bare:    completed={} busy={:.9}",
+                bare.completed, bare.busy_secs
+            );
+            eprintln!(
+                "  wrapped: completed={} busy={:.9}",
+                wrapped.completed, wrapped.busy_secs
+            );
+            std::process::exit(1);
+        }
+        println!("identity gate ({label}): migrations-off wrap is bit-identical");
+    }
+    gate(
+        "MEMS",
+        surfaced_mems_device(&MemsParams::default()),
+        MEMS_CAPACITY,
+    );
+    let disk_params = DiskParams::quantum_atlas_10k();
+    let disk_capacity = disk_params.total_sectors();
+    gate("disk", DiskDevice::new(disk_params), disk_capacity);
+}
+
+struct Cell {
+    workload: &'static str,
+    series: &'static str,
+    report: SimReport,
+    migration: Option<MigrationStats>,
+}
+
+fn run_workload(workload: &'static str, scale: u64, cells: &mut Vec<Cell>) {
+    let requests = match workload {
+        "zipf" => collect(
+            ZipfWorkload::new(
+                MEMS_CAPACITY,
+                BLOCK_SECTORS,
+                0.99,
+                RATE,
+                REQUESTS * scale,
+                WORKLOAD_SEED,
+            )
+            .bursty(BURST_LEN, BURST_IDLE),
+        ),
+        "hotspot" => collect(
+            ShiftingHotspotWorkload::new(
+                MEMS_CAPACITY,
+                HOT_SECTORS,
+                EPOCH_SECS,
+                HOT_FRACTION,
+                RATE,
+                REQUESTS * scale,
+                WORKLOAD_SEED,
+            )
+            .bursty(BURST_LEN, BURST_IDLE),
+        ),
+        _ => unreachable!(),
+    };
+    for series in ["bare", "organ_static", "adaptive"] {
+        let (report, migration) = run_series(&requests, series);
+        cells.push(Cell {
+            workload,
+            series,
+            report,
+            migration,
+        });
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let identity_only = args.iter().any(|a| a == "--identity-only");
+    let long = args.iter().any(|a| a == "--long");
+
+    identity_gate();
+    if identity_only {
+        return;
+    }
+
+    let scale = if long { 10 } else { 1 };
+    println!(
+        "\nplacement sweep: {} requests/cell at {RATE:.0} req/s, {BLOCK_SECTORS}-sector blocks\n",
+        REQUESTS * scale
+    );
+
+    let mut cells = Vec::new();
+    run_workload("zipf", scale, &mut cells);
+    run_workload("hotspot", scale, &mut cells);
+
+    let mut table = Table::new(
+        [
+            "workload", "series", "phase", "requests", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+            "max_ms", "busy_s", "util", "energy_j", "swaps", "wait_ms",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for cell in &mut cells {
+        let makespan = cell.report.makespan.as_secs();
+        let resp = &mut cell.report.response;
+        table.row(vec![
+            cell.workload.into(),
+            cell.series.into(),
+            "foreground".into(),
+            cell.report.completed.to_string(),
+            format!("{:.3}", resp.mean_ms()),
+            format!("{:.3}", resp.percentile(0.50) * 1e3),
+            format!("{:.3}", resp.percentile(0.95) * 1e3),
+            format!("{:.3}", resp.percentile(0.99) * 1e3),
+            format!("{:.3}", resp.max() * 1e3),
+            format!("{:.3}", cell.report.busy_secs),
+            format!("{:.4}", cell.report.busy_secs / makespan),
+            "0.000".into(),
+            "0".into(),
+            format!("{:.3}", cell.report.breakdown_sum.background_wait * 1e3),
+        ]);
+        // The bare series has no placement layer; its migration row is
+        // all zeros.
+        let m = cell.migration.clone().unwrap_or_default();
+        table.row(vec![
+            cell.workload.into(),
+            cell.series.into(),
+            "migration".into(),
+            m.chunk_ios.to_string(),
+            format!("{:.3}", m.chunk_time.mean() * 1e3),
+            format!("{:.3}", m.chunk_tail.quantile(0.50) * 1e3),
+            format!("{:.3}", m.chunk_tail.quantile(0.95) * 1e3),
+            format!("{:.3}", m.chunk_tail.quantile(0.99) * 1e3),
+            format!("{:.3}", m.chunk_time.max().max(0.0) * 1e3),
+            format!("{:.3}", m.busy_secs),
+            format!("{:.4}", m.busy_secs / makespan),
+            format!("{:.3}", m.energy_j),
+            m.swaps.to_string(),
+            format!("{:.3}", m.foreground_wait_secs * 1e3),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if long {
+        // Informational horizon: never touches the byte-gated goldens.
+        let dir = std::path::Path::new("target/long");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else {
+            let path = dir.join("placement_sweep.csv");
+            match std::fs::write(&path, table.to_csv()) {
+                Ok(()) => println!("[wrote {}]", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    } else {
+        write_csv("placement_sweep.csv", &table.to_csv());
+    }
+
+    // Headline gate: on the shifting hotspot, the online policy must
+    // beat the offline-census organ pipe on foreground mean response.
+    let mean_of = |cells: &[Cell], series: &str| {
+        cells
+            .iter()
+            .find(|c| c.workload == "hotspot" && c.series == series)
+            .expect("cell exists")
+            .report
+            .response
+            .mean_ms()
+    };
+    let static_mean = mean_of(&cells, "organ_static");
+    let adaptive_mean = mean_of(&cells, "adaptive");
+    println!(
+        "hotspot foreground mean: organ_static {static_mean:.3} ms, \
+         adaptive {adaptive_mean:.3} ms"
+    );
+    if adaptive_mean >= static_mean {
+        eprintln!("FAIL: adaptive placement did not beat the static organ pipe");
+        std::process::exit(1);
+    }
+}

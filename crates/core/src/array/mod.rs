@@ -141,6 +141,9 @@ pub(crate) fn combine(total: f64, first: ServiceBreakdown) -> ServiceBreakdown {
         turnaround_count: first.turnaround_count,
         overhead: first.overhead,
         fault_recovery: first.fault_recovery,
+        // Any member-level background wait is already inside `total`,
+        // which this synthesized breakdown's `transfer` absorbs.
+        background_wait: 0.0,
     }
 }
 

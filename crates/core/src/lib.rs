@@ -21,6 +21,9 @@
 //!   and power as a near-linear function of bits accessed.
 //! * [`array`](mod@array) — RAID-0/1/5 arrays as composable devices (§6.2), with
 //!   positioning-aware mirror read steering and the small-write RMW path.
+//! * [`placement`] — adaptive hot/cold placement: decayed per-block
+//!   frequency tracking and idle-window migration of hot blocks toward
+//!   the cheap center cylinders, as a composable device wrapper.
 //! * [`cache`] — the §2.4.11 speed-matching buffer: LRU sector cache with
 //!   multi-stream sequential readahead, composed as a device wrapper.
 //!
@@ -60,5 +63,6 @@ pub mod array;
 pub mod cache;
 pub mod fault;
 pub mod layout;
+pub mod placement;
 pub mod power;
 pub mod sched;

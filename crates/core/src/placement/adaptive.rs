@@ -1,0 +1,833 @@
+//! Online hot/cold block placement with idle-window migration.
+//!
+//! [`AdaptiveDevice`] closes the loop the paper's static layouts (§5)
+//! leave open: the device's own seek model says center cylinders are
+//! dramatically cheaper, so the wrapper tracks per-block access
+//! frequency with exponential decay ([`FrequencyTracker`]), detects idle
+//! windows in the request stream, and swaps hot blocks toward the
+//! low-seek-cost center of the LBN space (cold blocks outward) through a
+//! block-granular indirection table. It is the *online* counterpart of
+//! [`crate::layout::OrganPipeMap`]: same center-out goal arrangement,
+//! but reached incrementally from observed traffic instead of from an
+//! offline frequency census.
+//!
+//! Honest billing is the design center: every migration I/O goes through
+//! the wrapped device's normal [`StorageDevice::service`] path, so its
+//! seek, transfer, and energy cost is real, moves the sled/arm, and is
+//! visible to any tracer or heatmap sitting *inside* the wrapper.
+//! Migration is preemptible *between* chunk I/Os, the copy-forward
+//! idiom cleaners use: an arrival mid-swap defers the remaining chunks
+//! to the next idle window, so a foreground request waits for at most
+//! one in-flight chunk — and that overlap is billed to it as
+//! [`ServiceBreakdown::background_wait`]; an individual chunk is never
+//! preempted. Migration traffic is accounted in [`MigrationStats`],
+//! separate from foreground response stats, mirroring the
+//! rebuild-traffic split in the fleet layer.
+//!
+//! With [`PlacementConfig::migrate`] off and the identity initial
+//! placement, the wrapper is proven bit-identical to the bare device
+//! (the zero-cost gate CI enforces, like the zero-fault gate on
+//! `DegradedDevice`).
+
+use storage_sim::{
+    FaultKind, IoKind, LogHistogram, PhaseEnergy, PositionOracle, Request, ServiceBreakdown,
+    SimTime, StorageDevice, Welford,
+};
+
+use super::frequency::{DoublePriorityQueue, FrequencyTracker};
+use crate::layout::OrganPipeMap;
+
+/// Policy knobs for [`AdaptiveDevice`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementConfig {
+    /// Placement granularity in sectors; the indirection table, frequency
+    /// counters, and migration chunks all work on blocks of this size. A
+    /// trailing partial block (capacity not divisible by `block_sectors`)
+    /// is left unmanaged at its identity mapping.
+    pub block_sectors: u32,
+    /// Frequency-decay half-life, seconds: an access loses half its
+    /// placement weight every `half_life` seconds.
+    pub half_life: f64,
+    /// Quiet time after the last service completion before the migrator
+    /// wakes, seconds. Detection is retrospective (this is a simulator):
+    /// when a request arrives after a gap of at least `idle_window`,
+    /// migration is replayed as having started `idle_window` after the
+    /// device went idle and run until the arrival.
+    pub idle_window: f64,
+    /// Block swaps allowed per detected idle period.
+    pub max_swaps_per_window: u32,
+    /// A hot block displaces a slot occupant only if its weight exceeds
+    /// the occupant's by this factor (≥ 1), damping swap thrash between
+    /// blocks of similar heat.
+    pub hysteresis: f64,
+    /// A swap must move the hot block at least this many center-out
+    /// ranks inward. Once the working set is gathered at the center,
+    /// its internal ordering is irrelevant to seek cost — this floor
+    /// stops migration bandwidth from being burned on marginal
+    /// reshuffles inside the set (the weight ordering between two
+    /// similarly hot blocks is mostly sampling noise anyway).
+    pub min_rank_gain: u32,
+    /// A block is eligible to migrate only while its decayed access
+    /// count is at least this many recent accesses. The relative
+    /// `hysteresis` bar alone would let a block touched once migrate
+    /// over a never-touched occupant; this absolute floor keeps one-off
+    /// touches from consuming migration bandwidth.
+    pub min_heat: f64,
+    /// Master switch. Off, the wrapper never migrates and never bills
+    /// wait time: with the identity initial placement it is bit-identical
+    /// to the bare device, and with
+    /// [`AdaptiveDevice::with_initial_placement`] it serves as the
+    /// static-layout baseline.
+    pub migrate: bool,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            block_sectors: 512,
+            half_life: 20.0,
+            idle_window: 5e-3,
+            max_swaps_per_window: 4,
+            hysteresis: 2.0,
+            min_rank_gain: 8,
+            min_heat: 2.0,
+            migrate: true,
+        }
+    }
+}
+
+/// Migration-side accounting, kept separate from foreground stats so
+/// adaptive runs don't pollute foreground p99 comparisons.
+#[derive(Debug, Clone)]
+pub struct MigrationStats {
+    /// Block swaps committed.
+    pub swaps: u64,
+    /// Idle periods in which at least one swap ran.
+    pub windows: u64,
+    /// Migration I/Os issued (4 per swap: two reads, two writes).
+    pub chunk_ios: u64,
+    /// Sectors moved by migration I/O.
+    pub sectors: u64,
+    /// Device busy time consumed by migration, seconds.
+    pub busy_secs: f64,
+    /// Energy consumed by migration I/O, joules.
+    pub energy_j: f64,
+    /// Phase decomposition summed over all migration I/Os.
+    pub breakdown_sum: ServiceBreakdown,
+    /// Foreground requests that arrived while a migration chunk was in
+    /// flight.
+    pub waits: u64,
+    /// Total foreground wait billed as
+    /// [`ServiceBreakdown::background_wait`], seconds.
+    pub foreground_wait_secs: f64,
+    /// Per-chunk service-time distribution (mean/min/max).
+    pub chunk_time: Welford,
+    /// Per-chunk service-time tail histogram (mergeable, log-spaced).
+    pub chunk_tail: LogHistogram,
+}
+
+impl Default for MigrationStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MigrationStats {
+    /// All-zero stats, as a freshly built wrapper starts out.
+    pub fn new() -> Self {
+        MigrationStats {
+            swaps: 0,
+            windows: 0,
+            chunk_ios: 0,
+            sectors: 0,
+            busy_secs: 0.0,
+            energy_j: 0.0,
+            breakdown_sum: ServiceBreakdown::default(),
+            waits: 0,
+            foreground_wait_secs: 0.0,
+            chunk_time: Welford::new(),
+            chunk_tail: LogHistogram::response_times(),
+        }
+    }
+}
+
+/// Migration request ids live in their own namespace (top bit set) so
+/// they can never collide with driver-issued foreground ids in a trace.
+const MIGRATION_ID_BASE: u64 = 1 << 63;
+
+/// A [`StorageDevice`] wrapper that adaptively migrates hot blocks to
+/// the cheap center of the LBN space during idle windows.
+///
+/// Composes like the other oracle-stack wrappers (`DegradedDevice`,
+/// cache, RAID): anything accepting a [`StorageDevice`] can hold an
+/// `AdaptiveDevice`, and the wrapped device may itself be a wrapper.
+///
+/// # Examples
+///
+/// ```
+/// use mems_device::{MemsDevice, MemsParams};
+/// use mems_os::placement::{AdaptiveDevice, PlacementConfig};
+/// use storage_sim::{IoKind, Request, SimTime, StorageDevice};
+///
+/// let cfg = PlacementConfig::default();
+/// let mut dev = AdaptiveDevice::new(MemsDevice::new(MemsParams::default()), cfg);
+/// let req = Request::new(0, SimTime::ZERO, 40_000, 8, IoKind::Read);
+/// let b = dev.service(&req, SimTime::ZERO);
+/// assert!(b.total() > 0.0);
+/// // Nothing was hot yet, so nothing has migrated.
+/// assert_eq!(dev.migration_stats().swaps, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveDevice<D> {
+    inner: D,
+    cfg: PlacementConfig,
+    name: String,
+    /// Whole blocks under management; the partial tail block (if any)
+    /// stays identity-mapped.
+    n_blocks: u32,
+    /// Physical slot currently holding each logical block.
+    log_to_phys: Vec<u32>,
+    /// Logical block currently stored in each physical slot.
+    phys_to_log: Vec<u32>,
+    /// The placement the wrapper starts from (and resets to).
+    initial_log_to_phys: Vec<u32>,
+    /// Center-out desirability rank of each physical slot (rank 0 =
+    /// cheapest, the center of the LBN space).
+    rank_of_slot: Vec<u32>,
+    /// Physical slot at each center-out rank.
+    slot_at_rank: Vec<u32>,
+    tracker: FrequencyTracker,
+    heap: DoublePriorityQueue,
+    /// When the device last finished serving a request, seconds.
+    last_busy_end: f64,
+    /// A swap whose remaining chunks were deferred by a foreground
+    /// arrival; resumed before new picks in the next idle window.
+    pending: Option<PendingSwap>,
+    next_migration_id: u64,
+    stats: MigrationStats,
+}
+
+/// A swap mid-flight. The four chunk I/Os (read both homes, write
+/// both) run one at a time so an arrival can preempt between them; the
+/// permutation flips only when the final write lands. In-flight data
+/// sits in a staging buffer, so deferral never loses a block (foreground
+/// writes to a block mid-swap merge into the buffer — the standard
+/// copy-forward discipline, costless in this model).
+#[derive(Debug, Clone, Copy)]
+struct PendingSwap {
+    hot: u32,
+    cold: u32,
+    /// Next index into the fixed `[read hot, read cold, write cold,
+    /// write hot]` chunk sequence.
+    next_chunk: u8,
+}
+
+impl<D: StorageDevice> AdaptiveDevice<D> {
+    /// Wraps `inner` with the identity initial placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.block_sectors` is zero, the device has no whole
+    /// block, `cfg.hysteresis < 1`, or the decay/idle knobs are not
+    /// positive.
+    pub fn new(inner: D, cfg: PlacementConfig) -> Self {
+        assert!(cfg.block_sectors > 0, "block size must be positive");
+        assert!(cfg.hysteresis >= 1.0, "hysteresis must be at least 1");
+        assert!(cfg.idle_window > 0.0, "idle window must be positive");
+        let n_blocks =
+            u32::try_from(inner.capacity_lbns() / u64::from(cfg.block_sectors)).unwrap_or(u32::MAX);
+        assert!(n_blocks > 0, "device smaller than one placement block");
+        let identity: Vec<u32> = (0..n_blocks).collect();
+        // Center-out slot ranking, identical to OrganPipeMap's slot
+        // enumeration: center, center+1, center-1, center+2, ...
+        let center = n_blocks / 2;
+        let mut slot_at_rank = Vec::with_capacity(n_blocks as usize);
+        slot_at_rank.push(center);
+        for d in 1..=n_blocks {
+            if center + d < n_blocks {
+                slot_at_rank.push(center + d);
+            }
+            if slot_at_rank.len() == n_blocks as usize {
+                break;
+            }
+            if center >= d {
+                slot_at_rank.push(center - d);
+            }
+            if slot_at_rank.len() == n_blocks as usize {
+                break;
+            }
+        }
+        let mut rank_of_slot = vec![0u32; n_blocks as usize];
+        for (rank, &slot) in slot_at_rank.iter().enumerate() {
+            rank_of_slot[slot as usize] = rank as u32;
+        }
+        let tracker = FrequencyTracker::new(n_blocks as usize, cfg.half_life);
+        let heap = DoublePriorityQueue::new(&tracker);
+        AdaptiveDevice {
+            name: format!("adaptive({})", inner.name()),
+            inner,
+            cfg,
+            n_blocks,
+            log_to_phys: identity.clone(),
+            phys_to_log: identity.clone(),
+            initial_log_to_phys: identity,
+            rank_of_slot,
+            slot_at_rank,
+            tracker,
+            heap,
+            last_busy_end: 0.0,
+            pending: None,
+            next_migration_id: MIGRATION_ID_BASE,
+            stats: MigrationStats::new(),
+        }
+    }
+
+    /// Starts from a precomputed block permutation instead of the
+    /// identity — with [`PlacementConfig::migrate`] off this *is* the
+    /// static organ-pipe baseline, served through the same mapping code
+    /// as the adaptive runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not cover exactly this wrapper's managed
+    /// blocks.
+    pub fn with_initial_placement(mut self, map: &OrganPipeMap) -> Self {
+        assert_eq!(
+            map.len(),
+            self.n_blocks as usize,
+            "placement map must cover the managed blocks"
+        );
+        for block in 0..self.n_blocks {
+            let slot = u32::try_from(map.physical_of(u64::from(block))).expect("slot fits u32");
+            self.log_to_phys[block as usize] = slot;
+            self.phys_to_log[slot as usize] = block;
+        }
+        self.initial_log_to_phys = self.log_to_phys.clone();
+        self
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlacementConfig {
+        &self.cfg
+    }
+
+    /// Whole blocks under management.
+    pub fn managed_blocks(&self) -> u32 {
+        self.n_blocks
+    }
+
+    /// Migration-side accounting (separate from foreground stats).
+    pub fn migration_stats(&self) -> &MigrationStats {
+        &self.stats
+    }
+
+    /// The frequency tracker (decayed per-block heat).
+    pub fn tracker(&self) -> &FrequencyTracker {
+        &self.tracker
+    }
+
+    /// Physical slot currently holding logical `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn slot_of_block(&self, block: u32) -> u32 {
+        self.log_to_phys[block as usize]
+    }
+
+    /// Center-out desirability rank of logical `block`'s current slot
+    /// (0 = the cheapest, center slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn rank_of_block(&self, block: u32) -> u32 {
+        self.rank_of_slot[self.log_to_phys[block as usize] as usize]
+    }
+
+    /// Maps a logical request to its physical location. Multi-block
+    /// requests are placed by their first sector's block and extend
+    /// contiguously from there (block-granular placement approximates
+    /// spanning requests), clamped to the device capacity.
+    fn map_request(&self, req: &Request) -> Request {
+        let bs = u64::from(self.cfg.block_sectors);
+        let block = req.lbn / bs;
+        if block >= u64::from(self.n_blocks) {
+            return *req; // unmanaged tail: identity
+        }
+        let phys = u64::from(self.log_to_phys[block as usize]) * bs + (req.lbn % bs);
+        if phys == req.lbn {
+            return *req;
+        }
+        let sectors = u64::from(req.sectors)
+            .min(self.inner.capacity_lbns() - phys)
+            .try_into()
+            .expect("clamped sectors fit u32");
+        Request::new(req.id, req.arrival, phys, sectors, req.kind)
+    }
+
+    /// Records heat on every managed block the request touches.
+    fn record_heat(&mut self, req: &Request, now_s: f64) {
+        let bs = u64::from(self.cfg.block_sectors);
+        let first = req.lbn / bs;
+        let last = (req.end_lbn().max(req.lbn + 1) - 1) / bs;
+        for block in first..=last.min(u64::from(self.n_blocks) - 1) {
+            let block = block as usize;
+            if self.tracker.record(block, now_s) {
+                // Renormalization staled every cached weight bit pattern.
+                self.heap.rebuild(&self.tracker);
+            } else {
+                self.heap.push(block as u32, self.tracker.weight(block));
+            }
+        }
+        self.heap.maintain(&self.tracker);
+    }
+
+    /// Picks the best (hot block, displaced cold block) swap, or `None`
+    /// when no swap clears the hysteresis, rank-gain, and heat bars.
+    /// Deterministic: candidate order comes from the heap's (weight,
+    /// block-id) ordering and the fixed center-out slot ranking.
+    fn pick_swap(&mut self, now_s: f64) -> Option<(u32, u32)> {
+        /// Improvable candidates evaluated per pick.
+        const HOT_CANDIDATES: usize = 16;
+        /// Total heap pops per pick: already-centered blocks dominate
+        /// the top of the heap once the set is gathered, and skipping
+        /// them must not exhaust the candidate budget — but the walk
+        /// has to stay bounded.
+        const MAX_POPS: usize = 128;
+        // Cheap double-ended bound first: if even the globally coldest
+        // block is within hysteresis of the globally hottest, no pair
+        // anywhere can clear the bar.
+        let hottest = self.heap.pop_max(&self.tracker);
+        let coldest = self.heap.pop_min(&self.tracker);
+        if let Some((b, w)) = hottest {
+            self.heap.push(b, w);
+        }
+        if let Some((b, w)) = coldest {
+            self.heap.push(b, w);
+        }
+        let (Some((_, w_hot)), Some((_, w_cold))) = (hottest, coldest) else {
+            return None;
+        };
+        if w_hot <= 0.0 || w_hot <= self.cfg.hysteresis * w_cold {
+            return None;
+        }
+
+        let mut popped: Vec<(u32, f64)> = Vec::with_capacity(MAX_POPS);
+        let mut best: Option<(f64, u32, u32)> = None;
+        let mut examined = 0usize;
+        while popped.len() < MAX_POPS && examined < HOT_CANDIDATES {
+            let Some((h, wh)) = self.heap.pop_max(&self.tracker) else {
+                break;
+            };
+            // Duplicate live entries are possible after re-pushes; skip.
+            if popped.iter().any(|&(b, _)| b == h) {
+                continue;
+            }
+            popped.push((h, wh));
+            // The heap walks weight-descending: below the heat floor,
+            // everything after is colder still.
+            if wh <= 0.0 || self.tracker.weight_at(h as usize, now_s) < self.cfg.min_heat {
+                break;
+            }
+            let rank_h = self.rank_of_slot[self.log_to_phys[h as usize] as usize];
+            // Take the *innermost* slot whose occupant is genuinely
+            // cold — below the absolute heat floor, not merely cooler by
+            // the hysteresis ratio. Hot blocks therefore displace only
+            // non-working-set leftovers, never each other: each block
+            // makes one jump to the packing frontier around the center
+            // and stays put, so migration bandwidth is never burned
+            // reshuffling the ordering *within* the gathered set (which
+            // is irrelevant to seek cost) or ratcheting one block inward
+            // through repeated small steps. Only slots at least
+            // `min_rank_gain` ranks inward qualify; an already-centered
+            // block is not improvable and does not count against the
+            // candidate budget.
+            let scan_end = rank_h.saturating_sub(self.cfg.min_rank_gain.max(1) - 1);
+            if scan_end == 0 {
+                continue;
+            }
+            examined += 1;
+            for r in 0..scan_end {
+                let slot = self.slot_at_rank[r as usize];
+                let occupant = self.phys_to_log[slot as usize];
+                let wo = self.tracker.weight(occupant as usize);
+                let wo_now = self.tracker.weight_at(occupant as usize, now_s);
+                // Two-threshold hysteresis: entry requires `min_heat`,
+                // eviction requires decaying a hysteresis factor *below*
+                // it — otherwise blocks hovering at the threshold evict
+                // each other endlessly (the Zipf tail is full of them).
+                if wo_now * self.cfg.hysteresis < self.cfg.min_heat && wh > self.cfg.hysteresis * wo
+                {
+                    let gain = (wh - wo) * f64::from(rank_h - r);
+                    if best.is_none_or(|(g, _, _)| gain > g) {
+                        best = Some((gain, h, occupant));
+                    }
+                    break;
+                }
+            }
+        }
+        for (b, w) in popped {
+            self.heap.push(b, w);
+        }
+        best.map(|(_, h, c)| (h, c))
+    }
+
+    /// Services the pending swap's next chunk I/O at `t` (seconds)
+    /// through the wrapped device's normal service path — the cost is
+    /// real and lands in any tracer or heatmap inside the wrapper. The
+    /// permutation flips when the final write lands. Returns the chunk's
+    /// duration.
+    fn service_chunk(&mut self, t: f64) -> f64 {
+        let p = self.pending.expect("a chunk needs a pending swap");
+        let bs = self.cfg.block_sectors;
+        let slot_hot = self.log_to_phys[p.hot as usize];
+        let slot_cold = self.log_to_phys[p.cold as usize];
+        let (slot, kind) = match p.next_chunk {
+            0 => (slot_hot, IoKind::Read),
+            1 => (slot_cold, IoKind::Read),
+            2 => (slot_cold, IoKind::Write),
+            _ => (slot_hot, IoKind::Write),
+        };
+        let at = SimTime::from_secs(t);
+        let lbn = u64::from(slot) * u64::from(bs);
+        let req = Request::new(self.next_migration_id, at, lbn, bs, kind);
+        self.next_migration_id += 1;
+        let b = self.inner.service(&req, at);
+        let energy = self.inner.phase_energy(&b);
+        let total = b.total();
+        self.stats.chunk_ios += 1;
+        self.stats.sectors += u64::from(bs);
+        self.stats.busy_secs += total;
+        self.stats.energy_j += energy.total();
+        self.stats.breakdown_sum.accumulate(&b);
+        self.stats.chunk_time.push(total);
+        self.stats.chunk_tail.push(total);
+        if p.next_chunk == 3 {
+            self.log_to_phys.swap(p.hot as usize, p.cold as usize);
+            self.phys_to_log.swap(slot_hot as usize, slot_cold as usize);
+            self.stats.swaps += 1;
+            self.pending = None;
+        } else {
+            self.pending = Some(PendingSwap {
+                next_chunk: p.next_chunk + 1,
+                ..p
+            });
+        }
+        total
+    }
+
+    /// Replays the migrations of an idle period that started at `start`
+    /// and was ended by a foreground arrival at `now_s`: first the
+    /// chunks of a swap deferred by the previous arrival, then up to
+    /// `max_swaps_per_window` fresh picks. Chunks are issued one at a
+    /// time, and no new chunk starts at or after `now_s`, so the arrival
+    /// waits for at most the one chunk in flight; that overlap is
+    /// returned for billing as background wait.
+    fn run_idle_window(&mut self, start: f64, now_s: f64) -> f64 {
+        let mut t = start;
+        let mut started = 0u32;
+        let mut any = false;
+        while t < now_s {
+            if self.pending.is_none() {
+                if started >= self.cfg.max_swaps_per_window {
+                    break;
+                }
+                let Some((hot, cold)) = self.pick_swap(now_s) else {
+                    break;
+                };
+                self.pending = Some(PendingSwap {
+                    hot,
+                    cold,
+                    next_chunk: 0,
+                });
+                started += 1;
+            }
+            t += self.service_chunk(t);
+            any = true;
+        }
+        if any {
+            self.stats.windows += 1;
+        }
+        if t > now_s {
+            let wait = t - now_s;
+            self.stats.waits += 1;
+            self.stats.foreground_wait_secs += wait;
+            wait
+        } else {
+            0.0
+        }
+    }
+}
+
+impl<D: StorageDevice> PositionOracle for AdaptiveDevice<D> {
+    fn position_time(&self, req: &Request, now: SimTime) -> f64 {
+        self.inner.position_time(&self.map_request(req), now)
+    }
+
+    fn position_bucket(&self, req: &Request) -> u64 {
+        self.inner.position_bucket(&self.map_request(req))
+    }
+
+    fn current_bucket(&self) -> u64 {
+        self.inner.current_bucket()
+    }
+
+    fn min_position_time_at_bucket_distance(&self, distance: u64) -> f64 {
+        self.inner.min_position_time_at_bucket_distance(distance)
+    }
+
+    fn bucket_position_time_floor(&self, bucket: u64) -> f64 {
+        self.inner.bucket_position_time_floor(bucket)
+    }
+
+    fn rest_key(&self, now: SimTime) -> Option<[u64; 3]> {
+        if self.cfg.migrate {
+            // A swap between two scheduler visits changes position_time
+            // for remapped requests without the inner rest state moving,
+            // so cached per-bucket winners could go stale: disable the
+            // pick cache (always safe).
+            None
+        } else {
+            self.inner.rest_key(now)
+        }
+    }
+}
+
+impl<D: StorageDevice> StorageDevice for AdaptiveDevice<D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity_lbns(&self) -> u64 {
+        self.inner.capacity_lbns()
+    }
+
+    fn service(&mut self, req: &Request, now: SimTime) -> ServiceBreakdown {
+        let now_s = now.as_secs();
+        let mut wait = 0.0;
+        if self.cfg.migrate && now_s - self.last_busy_end >= self.cfg.idle_window {
+            wait = self.run_idle_window(self.last_busy_end + self.cfg.idle_window, now_s);
+        }
+        self.record_heat(req, now_s);
+        let eff = self.map_request(req);
+        let start = if wait > 0.0 {
+            SimTime::from_secs(now_s + wait)
+        } else {
+            now
+        };
+        let mut b = self.inner.service(&eff, start);
+        b.background_wait = wait;
+        self.last_busy_end = now_s + b.total();
+        b
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.log_to_phys.copy_from_slice(&self.initial_log_to_phys);
+        for (block, &slot) in self.initial_log_to_phys.iter().enumerate() {
+            self.phys_to_log[slot as usize] = block as u32;
+        }
+        self.tracker.reset();
+        self.heap.rebuild(&self.tracker);
+        self.last_busy_end = 0.0;
+        self.pending = None;
+        self.next_migration_id = MIGRATION_ID_BASE;
+        self.stats = MigrationStats::new();
+    }
+
+    fn phase_energy(&self, breakdown: &ServiceBreakdown) -> PhaseEnergy {
+        // `background_wait` is not a mechanical phase of this request
+        // (its energy is billed on the migration I/Os themselves), and
+        // the inner models only read the explicit phase fields.
+        self.inner.phase_energy(breakdown)
+    }
+
+    fn on_fault(&mut self, fault: &FaultKind, now: SimTime) {
+        self.inner.on_fault(fault, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mems_device::{MemsDevice, MemsParams};
+
+    fn mems() -> MemsDevice {
+        MemsDevice::new(MemsParams::default())
+    }
+
+    fn cfg() -> PlacementConfig {
+        PlacementConfig {
+            block_sectors: 2700, // one cylinder per block
+            idle_window: 2e-3,
+            ..PlacementConfig::default()
+        }
+    }
+
+    fn read(id: u64, at_ms: f64, lbn: u64) -> Request {
+        Request::new(id, SimTime::from_ms(at_ms), lbn, 8, IoKind::Read)
+    }
+
+    #[test]
+    fn hot_block_migrates_toward_center() {
+        let mut dev = AdaptiveDevice::new(mems(), cfg());
+        // Hammer a block at the far edge of the device, with idle gaps.
+        let hot_block = 2u32;
+        let lbn = u64::from(hot_block) * 2700 + 100;
+        let start_rank = dev.rank_of_block(hot_block);
+        for i in 0..40 {
+            let b = dev.service(
+                &read(i, 10.0 * i as f64, lbn),
+                SimTime::from_ms(10.0 * i as f64),
+            );
+            assert!(b.total() > 0.0);
+        }
+        let stats = dev.migration_stats();
+        assert!(stats.swaps >= 1, "hot edge block should migrate");
+        // 4 chunk I/Os per committed swap, plus up to 3 belonging to a
+        // swap still deferred mid-flight.
+        assert!(
+            stats.chunk_ios >= 4 * stats.swaps && stats.chunk_ios <= 4 * stats.swaps + 3,
+            "chunk_ios {} vs swaps {}",
+            stats.chunk_ios,
+            stats.swaps
+        );
+        assert!(stats.busy_secs > 0.0);
+        assert!(stats.energy_j > 0.0);
+        assert!(
+            dev.rank_of_block(hot_block) < start_rank,
+            "rank should improve: {} -> {}",
+            start_rank,
+            dev.rank_of_block(hot_block)
+        );
+    }
+
+    #[test]
+    fn migrated_block_reads_its_new_home() {
+        let mut dev = AdaptiveDevice::new(mems(), cfg());
+        let lbn = 2 * 2700 + 100;
+        for i in 0..40 {
+            dev.service(
+                &read(i, 10.0 * i as f64, lbn),
+                SimTime::from_ms(10.0 * i as f64),
+            );
+        }
+        assert!(dev.migration_stats().swaps >= 1);
+        let slot = dev.slot_of_block(2);
+        assert_ne!(slot, 2);
+        let eff = dev.map_request(&read(99, 0.0, lbn));
+        assert_eq!(eff.lbn, u64::from(slot) * 2700 + 100);
+        // The mapping is a permutation: some other block now maps to the
+        // hot block's old home.
+        let displaced = dev.phys_to_log[2];
+        assert_eq!(dev.slot_of_block(displaced), 2);
+    }
+
+    #[test]
+    fn no_migration_without_idle_window() {
+        let mut dev = AdaptiveDevice::new(mems(), cfg());
+        // Back-to-back requests, never idle for 2 ms.
+        let mut t = 0.0;
+        for i in 0..200 {
+            let b = dev.service(&read(i, t * 1e3, 2 * 2700 + 100), SimTime::from_secs(t));
+            t += b.total();
+        }
+        assert_eq!(dev.migration_stats().swaps, 0);
+    }
+
+    #[test]
+    fn migrate_off_never_swaps_or_waits() {
+        let mut dev = AdaptiveDevice::new(
+            mems(),
+            PlacementConfig {
+                migrate: false,
+                ..cfg()
+            },
+        );
+        for i in 0..40 {
+            let b = dev.service(
+                &read(i, 10.0 * i as f64, 5400),
+                SimTime::from_ms(10.0 * i as f64),
+            );
+            assert_eq!(b.background_wait, 0.0);
+        }
+        assert_eq!(dev.migration_stats().swaps, 0);
+        assert_eq!(dev.migration_stats().chunk_ios, 0);
+    }
+
+    #[test]
+    fn reset_restores_initial_placement_and_stats() {
+        let mut dev = AdaptiveDevice::new(mems(), cfg());
+        for i in 0..40 {
+            dev.service(
+                &read(i, 10.0 * i as f64, 5500),
+                SimTime::from_ms(10.0 * i as f64),
+            );
+        }
+        assert!(dev.migration_stats().swaps >= 1);
+        dev.reset();
+        assert_eq!(dev.migration_stats().swaps, 0);
+        for block in 0..dev.managed_blocks() {
+            assert_eq!(dev.slot_of_block(block), block);
+        }
+        assert_eq!(dev.tracker().weight(2), 0.0);
+    }
+
+    #[test]
+    fn organ_pipe_initial_placement_applies() {
+        let base = AdaptiveDevice::new(mems(), cfg());
+        let n = base.managed_blocks() as usize;
+        // Block 7 hottest, everything else uniform.
+        let mut freqs = vec![1.0; n];
+        freqs[7] = 100.0;
+        let map = OrganPipeMap::build(&freqs);
+        let dev = AdaptiveDevice::new(
+            mems(),
+            PlacementConfig {
+                migrate: false,
+                ..cfg()
+            },
+        )
+        .with_initial_placement(&map);
+        assert_eq!(dev.rank_of_block(7), 0, "hottest block sits at rank 0");
+        let req = read(0, 0.0, 7 * 2700 + 5);
+        let eff = dev.map_request(&req);
+        assert_eq!(eff.lbn, u64::from(dev.slot_of_block(7)) * 2700 + 5);
+    }
+
+    #[test]
+    fn spanning_request_extends_contiguously_and_clamps() {
+        use storage_sim::ConstantDevice;
+        // 10 blocks of 10 sectors on a 100-sector device; descending
+        // frequencies rank block i at center-out rank i, and rank 7 is
+        // the last physical slot (slot order 5,6,4,7,3,8,2,9,1,0).
+        let freqs: Vec<f64> = (0..10).map(|i| f64::from(10 - i)).collect();
+        let map = OrganPipeMap::build(&freqs);
+        let dev = AdaptiveDevice::new(
+            ConstantDevice::new(100, 1e-3),
+            PlacementConfig {
+                block_sectors: 10,
+                migrate: false,
+                ..PlacementConfig::default()
+            },
+        )
+        .with_initial_placement(&map);
+        assert_eq!(dev.slot_of_block(7), 9);
+        // A spanning request from block 7 extends contiguously from its
+        // mapped start and clamps at the device capacity.
+        let req = Request::new(0, SimTime::ZERO, 75, 10, IoKind::Read);
+        let eff = dev.map_request(&req);
+        assert_eq!(eff.lbn, 95);
+        assert_eq!(eff.sectors, 5, "clamped at capacity");
+        // A request that fits keeps its size.
+        let req = Request::new(1, SimTime::ZERO, 75, 3, IoKind::Read);
+        let eff = dev.map_request(&req);
+        assert_eq!((eff.lbn, eff.sectors), (95, 3));
+    }
+}

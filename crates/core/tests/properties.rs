@@ -7,6 +7,7 @@ use mems_os::fault::{
 use mems_os::layout::{
     Allocator, ColumnarLayout, DataClass, Layout, OrganPipeMap, SimpleLayout, SubregionedLayout,
 };
+use mems_os::placement::{DoublePriorityQueue, FrequencyTracker};
 use mems_os::sched::{Algorithm, ClookScheduler, LookScheduler, SstfScheduler};
 use proptest::prelude::*;
 use storage_sim::{IoKind, Request, Scheduler, SimTime};
@@ -277,5 +278,74 @@ proptest! {
             }
             RetryOutcome::Recovered { .. } => prop_assert!(false, "silent success"),
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The anchor-normalized decayed counters order exactly like
+    /// brute-force decayed sums under arbitrary access interleavings and
+    /// decay rates — including rates small enough that the run crosses
+    /// many renormalization boundaries — and the double-ended priority
+    /// queue tracks both extremes through it all.
+    #[test]
+    fn decayed_counters_preserve_relative_order(
+        accesses in prop::collection::vec((0usize..6, 1e-4f64..0.5), 1..120),
+        half_life_pick in 0usize..3,
+    ) {
+        const BLOCKS: usize = 6;
+        // Spans gentle decay up to a rate small enough that the run
+        // crosses many renormalization boundaries.
+        let half_life = [0.001f64, 0.05, 5.0][half_life_pick];
+        let mut tracker = FrequencyTracker::new(BLOCKS, half_life);
+        let mut queue = DoublePriorityQueue::new(&tracker);
+        let mut times: Vec<Vec<f64>> = vec![Vec::new(); BLOCKS];
+        let mut now = 0.0;
+        for &(block, dt) in &accesses {
+            now += dt;
+            if tracker.record(block, now) {
+                // Renormalization staled every cached weight bit pattern.
+                queue.rebuild(&tracker);
+            } else {
+                queue.push(block as u32, tracker.weight(block));
+            }
+            queue.maintain(&tracker);
+            times[block].push(now);
+        }
+        // Brute force: each access contributes 2^-(age / half_life).
+        let brute: Vec<f64> = times
+            .iter()
+            .map(|ts| ts.iter().map(|t| f64::exp2(-(now - t) / half_life)).sum())
+            .collect();
+        for (b, &expect) in brute.iter().enumerate() {
+            let got = tracker.weight_at(b, now);
+            prop_assert!(
+                (got - expect).abs() <= 1e-9 * expect.max(got) + 1e-300,
+                "block {}: weight_at {} vs brute {}",
+                b, got, expect
+            );
+        }
+        // Raw (anchor-normalized) weights order identically wherever the
+        // brute-force comparison is decisive.
+        for i in 0..BLOCKS {
+            for j in 0..BLOCKS {
+                if brute[i] > brute[j] * 1.000_001 && brute[i] > 1e-200 {
+                    prop_assert!(
+                        tracker.weight(i) > tracker.weight(j),
+                        "order flipped: block {} ({} brute {}) vs block {} ({} brute {})",
+                        i, tracker.weight(i), brute[i],
+                        j, tracker.weight(j), brute[j]
+                    );
+                }
+            }
+        }
+        // The queue's two ends are the live extremes, bit for bit.
+        let max_w = (0..BLOCKS).map(|b| tracker.weight(b)).fold(f64::MIN, f64::max);
+        let min_w = (0..BLOCKS).map(|b| tracker.weight(b)).fold(f64::MAX, f64::min);
+        let (_, popped_max) = queue.pop_max(&tracker).unwrap();
+        let (_, popped_min) = queue.pop_min(&tracker).unwrap();
+        prop_assert_eq!(popped_max.to_bits(), max_w.to_bits());
+        prop_assert_eq!(popped_min.to_bits(), min_w.to_bits());
     }
 }

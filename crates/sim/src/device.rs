@@ -41,12 +41,23 @@ pub struct ServiceBreakdown {
     /// seek-error retries (penalty plus backoff), one-time remap charges,
     /// and reconstruction-read overhead. Zero on a healthy device.
     pub fault_recovery: f64,
+    /// Time this foreground request spent waiting behind a non-preemptible
+    /// background operation already in flight on the device (e.g. the last
+    /// chunk of an idle-window migration that overshot the arrival). Part
+    /// of the request's service time, but not a mechanical phase: the
+    /// mechanical work it covers is billed on the background I/O itself,
+    /// so energy models and phase-utilization exports ignore this field.
+    pub background_wait: f64,
 }
 
 impl ServiceBreakdown {
     /// Total service time in seconds.
     pub fn total(&self) -> f64 {
-        self.positioning + self.transfer + self.overhead + self.fault_recovery
+        self.positioning
+            + self.transfer
+            + self.overhead
+            + self.fault_recovery
+            + self.background_wait
     }
 
     /// Total service time as a [`SimTime`].
@@ -66,6 +77,7 @@ impl ServiceBreakdown {
         self.turnaround_count += other.turnaround_count;
         self.overhead += other.overhead;
         self.fault_recovery += other.fault_recovery;
+        self.background_wait += other.background_wait;
     }
 }
 

@@ -13,7 +13,11 @@
 //!
 //! Plus a plain-text trace format ([`TraceRecord`], [`parse_trace`],
 //! [`format_trace`]) and scaled replay ([`TraceWorkload`]) implementing
-//! the paper's arrival-rate scaling methodology.
+//! the paper's arrival-rate scaling methodology, and two skewed
+//! workloads for the adaptive-placement experiments: [`ZipfWorkload`]
+//! (classical Zipf(0.99) block popularity, spatially scattered) and
+//! [`ShiftingHotspotWorkload`] (a contiguous hot span that relocates
+//! every epoch).
 
 #![warn(missing_docs)]
 
@@ -23,6 +27,7 @@ pub mod record;
 pub mod streaming;
 pub mod summary;
 pub mod tpcc;
+pub mod zipf;
 
 pub use cello::{cello_for_capacity, generate_cello, CelloParams};
 pub use random::RandomWorkload;
@@ -30,3 +35,4 @@ pub use record::{format_trace, parse_trace, TraceRecord, TraceWorkload};
 pub use streaming::{generate_streaming, StreamingParams};
 pub use summary::TraceSummary;
 pub use tpcc::{generate_tpcc, tpcc_for_capacity, TpccParams};
+pub use zipf::{ShiftingHotspotWorkload, ZipfWorkload, FRAGMENTS};

@@ -1,0 +1,527 @@
+//! Skewed synthetic workloads for placement experiments.
+//!
+//! Two generators exercise the adaptive-placement layer:
+//!
+//! * [`ZipfWorkload`] — classical Zipf-distributed block popularity
+//!   (rank `k` drawn with probability `∝ 1/k^theta`, the database/
+//!   key-value standard at `theta = 0.99`), with ranks scattered over
+//!   the device by a seeded permutation so popularity is *spatially
+//!   uncorrelated* — the worst case for static layouts built without a
+//!   frequency census.
+//! * [`ShiftingHotspotWorkload`] — a contiguous hot span absorbing most
+//!   accesses that relocates every epoch, modeling working sets that
+//!   drift (new table, new tenant, log rollover). Static placement can
+//!   only be right for one epoch; an adaptive policy can chase the
+//!   hotspot.
+//!
+//! Both share the §3 random-workload envelope: Poisson arrivals, 67%
+//! reads, exponential 4 KB sizes. Either can be switched to an ON/OFF
+//! bursty arrival process ([`ZipfWorkload::bursty`],
+//! [`ShiftingHotspotWorkload::bursty`]) that preserves the long-run
+//! rate while opening real idle periods between bursts — the regime
+//! idle-window migration policies are designed for (pure Poisson gaps
+//! are memoryless, so an idle detector can never predict a long gap).
+
+use rand::rngs::SmallRng;
+use storage_sim::rng;
+use storage_sim::{IoKind, Request, SimTime, Workload};
+
+/// Draws kind and size with the §3 envelope (67% reads, exponential
+/// 4 KB sizes capped at 16× the mean).
+fn kind_and_sectors(rng: &mut SmallRng) -> (IoKind, u32) {
+    let kind = if rng::bernoulli(rng, 0.67) {
+        IoKind::Read
+    } else {
+        IoKind::Write
+    };
+    let sectors = (rng::exponential(rng, 8.0).ceil() as u32).clamp(1, 128);
+    (kind, sectors)
+}
+
+/// Arrival clock shared by the skewed generators: pure Poisson at the
+/// requested rate by default, or ON/OFF bursts of `burst_len` requests
+/// separated by exponential idle gaps. Bursty mode keeps the long-run
+/// rate by compressing the intra-burst interarrival so one mean cycle
+/// (burst + idle gap) spans the same time `burst_len` Poisson arrivals
+/// would.
+#[derive(Debug)]
+struct ArrivalClock {
+    mean_interarrival: f64,
+    /// Requests per burst; 0 selects pure Poisson arrivals.
+    burst_len: u64,
+    /// Mean intra-burst interarrival, seconds (ON period).
+    on_interarrival: f64,
+    /// Mean idle gap between bursts, seconds (OFF period).
+    idle_mean: f64,
+    emitted: u64,
+    clock: f64,
+}
+
+impl ArrivalClock {
+    fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        ArrivalClock {
+            mean_interarrival: 1.0 / rate,
+            burst_len: 0,
+            on_interarrival: 0.0,
+            idle_mean: 0.0,
+            emitted: 0,
+            clock: 0.0,
+        }
+    }
+
+    fn make_bursty(&mut self, burst_len: u64, idle_mean: f64) {
+        assert!(burst_len > 0, "burst length must be positive");
+        assert!(idle_mean > 0.0, "idle gap must be positive");
+        let cycle = burst_len as f64 * self.mean_interarrival;
+        assert!(
+            idle_mean < cycle,
+            "idle gap {idle_mean}s must leave ON time in the {cycle}s cycle"
+        );
+        self.burst_len = burst_len;
+        self.idle_mean = idle_mean;
+        self.on_interarrival = (cycle - idle_mean) / burst_len as f64;
+    }
+
+    /// Advances past the next arrival and returns its time.
+    fn advance(&mut self, rng: &mut SmallRng) -> f64 {
+        let mean = if self.burst_len == 0 {
+            self.mean_interarrival
+        } else if self.emitted > 0 && self.emitted.is_multiple_of(self.burst_len) {
+            // Burst boundary: the idle gap opens the next burst.
+            self.idle_mean
+        } else {
+            self.on_interarrival
+        };
+        self.emitted += 1;
+        self.clock += rng::exponential(rng, mean);
+        self.clock
+    }
+}
+
+/// Classical Zipf block-popularity workload.
+///
+/// The device is carved into `block_sectors`-sized blocks; block
+/// popularity follows Zipf(`theta`) over a seeded random rank→block
+/// permutation; the accessed sector offset is uniform within the block.
+///
+/// # Examples
+///
+/// ```
+/// use storage_trace::ZipfWorkload;
+/// use storage_sim::Workload;
+///
+/// let mut w = ZipfWorkload::new(6_750_000, 512, 0.99, 500.0, 1000, 42);
+/// let first = w.next_request().unwrap();
+/// assert!(first.sectors >= 1);
+/// ```
+#[derive(Debug)]
+pub struct ZipfWorkload {
+    /// Cumulative Zipf distribution over ranks; `cdf[k]` = P(rank ≤ k).
+    cdf: Vec<f64>,
+    /// Rank → block permutation (scatters popularity over the device).
+    block_of_rank: Vec<u32>,
+    block_sectors: u32,
+    capacity: u64,
+    arrivals: ArrivalClock,
+    remaining: u64,
+    next_id: u64,
+    rng: SmallRng,
+}
+
+impl ZipfWorkload {
+    /// Creates the workload: `theta` is the Zipf exponent (0.99 is the
+    /// customary strong skew), `rate` the Poisson arrival rate in
+    /// requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_sectors` is zero, the device holds no whole
+    /// block, `theta` is not positive, or `rate` is not positive.
+    pub fn new(
+        capacity: u64,
+        block_sectors: u32,
+        theta: f64,
+        rate: f64,
+        requests: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(block_sectors > 0, "block size must be positive");
+        assert!(theta > 0.0, "Zipf exponent must be positive");
+        let n_blocks =
+            usize::try_from(capacity / u64::from(block_sectors)).expect("block count fits usize");
+        assert!(n_blocks > 0, "device smaller than one block");
+        // Harmonic CDF: P(rank = k) ∝ 1/(k+1)^theta.
+        let mut cdf = Vec::with_capacity(n_blocks);
+        let mut acc = 0.0;
+        for k in 0..n_blocks {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        let mut rng = rng::seeded(seed);
+        // Seeded Fisher–Yates: rank k lives at a uniform random block.
+        let mut block_of_rank: Vec<u32> = (0..n_blocks as u32).collect();
+        for i in (1..n_blocks).rev() {
+            let j = rng::uniform_u64(&mut rng, i as u64 + 1) as usize;
+            block_of_rank.swap(i, j);
+        }
+        ZipfWorkload {
+            cdf,
+            block_of_rank,
+            block_sectors,
+            capacity,
+            arrivals: ArrivalClock::poisson(rate),
+            remaining: requests,
+            next_id: 0,
+            rng,
+        }
+    }
+
+    /// Switches arrivals to ON/OFF bursts of `burst_len` requests with
+    /// exponential idle gaps of mean `idle_mean` seconds between them,
+    /// preserving the long-run rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero or `idle_mean` does not leave ON
+    /// time in the mean cycle (`idle_mean ≥ burst_len / rate`).
+    pub fn bursty(mut self, burst_len: u64, idle_mean: f64) -> Self {
+        self.arrivals.make_bursty(burst_len, idle_mean);
+        self
+    }
+}
+
+impl Workload for ZipfWorkload {
+    fn next_request(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let clock = self.arrivals.advance(&mut self.rng);
+        let (kind, sectors) = kind_and_sectors(&mut self.rng);
+        // Inverse-CDF sample: binary search the harmonic CDF.
+        let u = rng::uniform_u64(&mut self.rng, u64::MAX) as f64 / u64::MAX as f64;
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        let block = u64::from(self.block_of_rank[rank]);
+        let bs = u64::from(self.block_sectors);
+        let offset = rng::uniform_u64(&mut self.rng, bs);
+        let lbn = (block * bs + offset).min(self.capacity - u64::from(sectors));
+        let req = Request::new(self.next_id, SimTime::from_secs(clock), lbn, sectors, kind);
+        self.next_id += 1;
+        Some(req)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// A drifting working set: `hot_sectors` of hot data, scattered across
+/// the device as [`FRAGMENTS`] equal extents (think files or tables
+/// spread by the allocator), absorb most accesses — and the whole set
+/// relocates every `epoch_secs`.
+///
+/// The scatter is the point: hot-to-hot transitions seek between
+/// far-apart fragments on a native layout, so a placement layer that
+/// gathers the *live* working set at the device center wins on the
+/// bulk of the traffic. A static frequency-census layout can only
+/// gather the union of every epoch's fragments, which is
+/// epochs-times larger than the live set.
+///
+/// Fragment positions are drawn per `(epoch, fragment)` from the seed
+/// alone, so replaying the workload is deterministic and two instances
+/// with the same seed shift identically.
+///
+/// # Examples
+///
+/// ```
+/// use storage_trace::ShiftingHotspotWorkload;
+/// use storage_sim::Workload;
+///
+/// let mut w = ShiftingHotspotWorkload::new(6_750_000, 67_500, 30.0, 0.9, 500.0, 1000, 42);
+/// let first = w.next_request().unwrap();
+/// assert!(first.sectors >= 1);
+/// ```
+#[derive(Debug)]
+pub struct ShiftingHotspotWorkload {
+    capacity: u64,
+    epoch_secs: f64,
+    hot_fraction: f64,
+    arrivals: ArrivalClock,
+    remaining: u64,
+    next_id: u64,
+    rng: SmallRng,
+    /// Seed for the per-epoch fragment-position stream.
+    epoch_seed: u64,
+    current_epoch: u64,
+    /// Sectors per fragment (`hot_sectors / FRAGMENTS`).
+    frag_len: u64,
+    /// Start sector of each fragment in the current epoch.
+    hot_starts: Vec<u64>,
+}
+
+/// Fragments the hot working set is scattered into.
+pub const FRAGMENTS: usize = 64;
+
+impl ShiftingHotspotWorkload {
+    /// Creates the workload: `hot_sectors` is the total working-set
+    /// size (scattered as [`FRAGMENTS`] equal extents), `epoch_secs`
+    /// how long the set stays hot before relocating, and `hot_fraction`
+    /// the probability an access lands in the set (fragment uniform,
+    /// offset uniform inside it; the remainder is uniform over the
+    /// whole device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hot span is smaller than one sector per fragment
+    /// or does not fit the device, the epoch is not positive,
+    /// `hot_fraction` is outside `[0, 1]`, or `rate` is not positive.
+    pub fn new(
+        capacity: u64,
+        hot_sectors: u64,
+        epoch_secs: f64,
+        hot_fraction: f64,
+        rate: f64,
+        requests: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            hot_sectors >= FRAGMENTS as u64 && hot_sectors < capacity,
+            "hot span must fit the device and hold one sector per fragment"
+        );
+        assert!(epoch_secs > 0.0, "epoch must be positive");
+        assert!((0.0..=1.0).contains(&hot_fraction), "fraction in [0, 1]");
+        let mut w = ShiftingHotspotWorkload {
+            capacity,
+            epoch_secs,
+            hot_fraction,
+            arrivals: ArrivalClock::poisson(rate),
+            remaining: requests,
+            next_id: 0,
+            rng: rng::seeded(seed),
+            epoch_seed: seed ^ 0x9e37_79b9_7f4a_7c15,
+            current_epoch: u64::MAX,
+            frag_len: hot_sectors / FRAGMENTS as u64,
+            hot_starts: Vec::new(),
+        };
+        w.enter_epoch(0);
+        w
+    }
+
+    /// Switches arrivals to ON/OFF bursts of `burst_len` requests with
+    /// exponential idle gaps of mean `idle_mean` seconds between them,
+    /// preserving the long-run rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero or `idle_mean` does not leave ON
+    /// time in the mean cycle (`idle_mean ≥ burst_len / rate`).
+    pub fn bursty(mut self, burst_len: u64, idle_mean: f64) -> Self {
+        self.arrivals.make_bursty(burst_len, idle_mean);
+        self
+    }
+
+    /// The fragment layout active during `epoch`, derived from the seed
+    /// alone: `(start, len)` per fragment.
+    pub fn fragments_of_epoch(&self, epoch: u64) -> Vec<(u64, u64)> {
+        (0..FRAGMENTS as u64)
+            .map(|f| {
+                // One-shot seeded draw keyed by (epoch, fragment):
+                // deterministic regardless of how many requests earlier
+                // epochs produced.
+                let key = self
+                    .epoch_seed
+                    .wrapping_add(epoch.wrapping_mul(0xa076_1d64_78bd_642f))
+                    .wrapping_add(f.wrapping_mul(0x2545_f491_4f6c_dd1d));
+                let mut r = rng::seeded(key);
+                let start = rng::uniform_u64(&mut r, self.capacity - self.frag_len);
+                (start, self.frag_len)
+            })
+            .collect()
+    }
+
+    fn enter_epoch(&mut self, epoch: u64) {
+        self.current_epoch = epoch;
+        self.hot_starts = self
+            .fragments_of_epoch(epoch)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+    }
+}
+
+impl Workload for ShiftingHotspotWorkload {
+    fn next_request(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let clock = self.arrivals.advance(&mut self.rng);
+        let epoch = (clock / self.epoch_secs) as u64;
+        if epoch != self.current_epoch {
+            self.enter_epoch(epoch);
+        }
+        let (kind, sectors) = kind_and_sectors(&mut self.rng);
+        let lbn = if rng::bernoulli(&mut self.rng, self.hot_fraction) {
+            let f = rng::uniform_u64(&mut self.rng, FRAGMENTS as u64) as usize;
+            self.hot_starts[f] + rng::uniform_u64(&mut self.rng, self.frag_len)
+        } else {
+            rng::uniform_u64(&mut self.rng, self.capacity)
+        }
+        .min(self.capacity - u64::from(sectors));
+        let req = Request::new(self.next_id, SimTime::from_secs(clock), lbn, sectors, kind);
+        self.next_id += 1;
+        Some(req)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<W: Workload>(mut w: W) -> Vec<Request> {
+        std::iter::from_fn(move || w.next_request()).collect()
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_in_bounds() {
+        let a = drain(ZipfWorkload::new(1_000_000, 512, 0.99, 100.0, 500, 7));
+        let b = drain(ZipfWorkload::new(1_000_000, 512, 0.99, 100.0, 500, 7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|r| r.end_lbn() <= 1_000_000));
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_on_few_blocks() {
+        let reqs = drain(ZipfWorkload::new(1_000_000, 512, 0.99, 100.0, 20_000, 8));
+        let mut counts = std::collections::HashMap::new();
+        for r in &reqs {
+            *counts.entry(r.lbn / 512).or_insert(0u64) += 1;
+        }
+        let mut by_count: Vec<u64> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let top20: u64 = by_count.iter().take(20).sum();
+        let frac = top20 as f64 / reqs.len() as f64;
+        // Zipf(0.99) over ~1953 blocks puts roughly a third of all
+        // accesses on the 20 hottest blocks.
+        assert!(frac > 0.25, "top-20 block mass {frac}");
+        // ...but the popular blocks are scattered, not clustered: the
+        // hottest block is a random permutation target, not block 0.
+        let hottest = *counts
+            .iter()
+            .max_by_key(|&(block, &c)| (c, *block))
+            .unwrap()
+            .0;
+        assert!(hottest < 1_000_000 / 512);
+    }
+
+    #[test]
+    fn zipf_rate_and_mix_follow_the_envelope() {
+        let reqs = drain(ZipfWorkload::new(1_000_000, 512, 0.99, 1000.0, 20_000, 9));
+        let span = (reqs.last().unwrap().arrival - reqs[0].arrival).as_secs();
+        let rate = (reqs.len() - 1) as f64 / span;
+        assert!((rate - 1000.0).abs() / 1000.0 < 0.05, "rate {rate}");
+        let reads = reqs.iter().filter(|r| r.kind.is_read()).count() as f64;
+        assert!((reads / reqs.len() as f64 - 0.67).abs() < 0.02);
+    }
+
+    #[test]
+    fn hotspot_concentrates_and_shifts() {
+        let hot = 50_000u64;
+        let w = ShiftingHotspotWorkload::new(1_000_000, hot, 5.0, 0.9, 1000.0, 40_000, 11);
+        let frags0 = w.fragments_of_epoch(0);
+        let frags1 = w.fragments_of_epoch(1);
+        assert_eq!(frags0.len(), FRAGMENTS);
+        assert_ne!(frags0, frags1, "the working set must move between epochs");
+        let in_set =
+            |frags: &[(u64, u64)], lbn: u64| frags.iter().any(|&(s, l)| lbn >= s && lbn < s + l);
+        let reqs = drain(w);
+        // Epoch 0 requests: ~90% inside the epoch-0 fragment set.
+        let e0: Vec<_> = reqs.iter().filter(|r| r.arrival.as_secs() < 5.0).collect();
+        let inside = e0.iter().filter(|r| in_set(&frags0, r.lbn)).count() as f64;
+        let frac = inside / e0.len() as f64;
+        assert!(frac > 0.87, "epoch-0 hot fraction {frac}");
+        // The fragments scatter: they span far more of the device than
+        // one contiguous run of `hot` sectors.
+        let lo = frags0.iter().map(|&(s, _)| s).min().unwrap();
+        let hi = frags0.iter().map(|&(s, l)| s + l).max().unwrap();
+        assert!(hi - lo > 4 * hot, "fragments not scattered: {lo}..{hi}");
+        // Epoch 1 requests concentrate on the *new* fragment set.
+        let e1: Vec<_> = reqs
+            .iter()
+            .filter(|r| (5.0..10.0).contains(&r.arrival.as_secs()))
+            .collect();
+        assert!(!e1.is_empty());
+        let inside1 = e1.iter().filter(|r| in_set(&frags1, r.lbn)).count() as f64;
+        assert!(inside1 / e1.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn hotspot_is_deterministic() {
+        let a = drain(ShiftingHotspotWorkload::new(
+            1_000_000, 10_000, 1.0, 0.9, 500.0, 1000, 3,
+        ));
+        let b = drain(ShiftingHotspotWorkload::new(
+            1_000_000, 10_000, 1.0, 0.9, 500.0, 1000, 3,
+        ));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|r| r.end_lbn() <= 1_000_000));
+    }
+
+    #[test]
+    fn bursty_mode_preserves_rate_and_opens_idle_gaps() {
+        let rate = 500.0;
+        let reqs = drain(
+            ShiftingHotspotWorkload::new(1_000_000, 10_000, 10.0, 0.9, rate, 20_000, 13)
+                .bursty(50, 0.060),
+        );
+        let span = (reqs.last().unwrap().arrival - reqs[0].arrival).as_secs();
+        let observed = (reqs.len() - 1) as f64 / span;
+        assert!(
+            (observed - rate).abs() / rate < 0.1,
+            "long-run rate {observed} vs {rate}"
+        );
+        // Real idle periods exist: roughly one ≥ 20 ms gap per burst.
+        let long_gaps = reqs
+            .windows(2)
+            .filter(|p| (p[1].arrival - p[0].arrival).as_secs() > 0.020)
+            .count();
+        let bursts = reqs.len() / 50;
+        assert!(
+            long_gaps as f64 > 0.6 * bursts as f64,
+            "{long_gaps} long gaps over {bursts} bursts"
+        );
+        // Determinism holds in bursty mode too.
+        let again = drain(
+            ShiftingHotspotWorkload::new(1_000_000, 10_000, 10.0, 0.9, rate, 20_000, 13)
+                .bursty(50, 0.060),
+        );
+        assert_eq!(reqs, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "ON time")]
+    fn bursty_idle_gap_must_leave_on_time() {
+        // 50 requests at 500/s is a 100 ms cycle; a 100 ms idle gap
+        // leaves nothing for the burst itself.
+        let _ = ZipfWorkload::new(1_000_000, 512, 0.99, 500.0, 100, 1).bursty(50, 0.100);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot span")]
+    fn oversized_hotspot_rejected() {
+        let _ = ShiftingHotspotWorkload::new(1000, 1000, 1.0, 0.9, 100.0, 10, 1);
+    }
+}
