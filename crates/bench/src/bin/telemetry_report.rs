@@ -1,5 +1,5 @@
 //! Telemetry report: windowed time-series metrics and spatial media
-//! heatmaps for three representative cells, plus a wall-clock self-profile
+//! heatmaps for four representative cells, plus a wall-clock self-profile
 //! of the simulator.
 //!
 //! Cells:
@@ -11,13 +11,18 @@
 //!    fault_recovery utilization and fault-rate ramp of §6.
 //! 3. `disk_clook` — C-LOOK on the Atlas 10K baseline (100 req/s): the
 //!    per-zone heatmap counterpart.
+//! 4. `mems_adaptive` — the adaptive-placement wrapper on a skewed bursty
+//!    stream: the timeline's `util_background_wait` column shows when
+//!    migration traffic delays foreground arrivals, and the wrapper's
+//!    migration ledger lands in `target/telemetry_summary.json`.
 //!
 //! Outputs `results/telemetry_timeline.csv` and
 //! `results/telemetry_heatmap.csv` — both purely sim-time derived, so they
 //! are committed goldens byte-gated by the CI `figures` job — plus
-//! `target/telemetry_profile.json`, which contains *wall-clock* numbers
-//! (events/sec, per-component shares, seek-cache hit rate) and is
-//! therefore untracked and informational only.
+//! `target/telemetry_profile.json` and `target/telemetry_summary.json`;
+//! the profile contains *wall-clock* numbers (events/sec, per-component
+//! shares, seek-cache hit rate) and is therefore untracked and
+//! informational only.
 //!
 //! Two gates make the bin a regression check (exit non-zero on failure):
 //! the telemetry window totals must reconcile with the driver's report,
@@ -30,14 +35,15 @@
 use std::process::ExitCode;
 
 use atlas_disk::{DiskDevice, DiskParams, ZoneHeatmap};
-use mems_bench::write_csv;
+use mems_bench::{surfaced_mems_device, write_csv};
 use mems_device::{MediaHeatmap, MemsDevice, MemsParams};
 use mems_os::fault::DegradedDevice;
+use mems_os::placement::{AdaptiveDevice, PlacementConfig};
 use mems_os::sched::{ClookScheduler, SptfScheduler};
 use storage_sim::{
     Driver, FaultClock, Profiler, RingTracer, SimReport, SimTime, Telemetry, TraceEvent, TracerPair,
 };
-use storage_trace::RandomWorkload;
+use storage_trace::{RandomWorkload, ZipfWorkload};
 
 const MEMS_SEED: u64 = 0x5EED_0006;
 const MEMS_RATE: f64 = 1000.0;
@@ -55,6 +61,28 @@ const MAX_WINDOWS: usize = 256;
 /// MEMS region grid: 10 cylinder buckets × 9 row buckets.
 const GRID_X: usize = 10;
 const GRID_Y: usize = 9;
+/// Adaptive cell: Zipf(0.99) over 512 KB placement blocks in ON/OFF
+/// bursts — the idle-window regime migration is built for (same tuning
+/// as `placement_sweep`).
+const ADAPTIVE_SEED: u64 = 42;
+const ADAPTIVE_RATE: f64 = 500.0;
+const ADAPTIVE_REQUESTS: u64 = 20_000;
+const ADAPTIVE_BLOCK_SECTORS: u32 = 1024;
+const ADAPTIVE_BURST_LEN: u64 = 50;
+const ADAPTIVE_BURST_IDLE: f64 = 0.060;
+
+fn adaptive_placement() -> PlacementConfig {
+    PlacementConfig {
+        block_sectors: ADAPTIVE_BLOCK_SECTORS,
+        half_life: 1.0,
+        idle_window: 4e-3,
+        max_swaps_per_window: 4,
+        hysteresis: 1.5,
+        min_rank_gain: 64,
+        min_heat: 4.0,
+        migrate: true,
+    }
+}
 
 fn mems_workload(seed: u64) -> RandomWorkload {
     let capacity = MemsParams::default().geometry().total_sectors();
@@ -264,6 +292,62 @@ fn main() -> ExitCode {
         zones.zones()
     );
 
+    // Cell 4: adaptive placement under a skewed bursty stream. Migration
+    // chunk I/O is billed to foreground arrivals as background_wait, so
+    // the timeline's util_background_wait column lights up exactly when
+    // the placement layer is moving blocks.
+    let capacity = MemsParams::default().geometry().total_sectors();
+    let mut driver = Driver::new(
+        ZipfWorkload::new(
+            capacity,
+            ADAPTIVE_BLOCK_SECTORS,
+            0.99,
+            ADAPTIVE_RATE,
+            ADAPTIVE_REQUESTS,
+            ADAPTIVE_SEED,
+        )
+        .bursty(ADAPTIVE_BURST_LEN, ADAPTIVE_BURST_IDLE),
+        SptfScheduler::new(),
+        AdaptiveDevice::new(
+            surfaced_mems_device(&MemsParams::default()),
+            adaptive_placement(),
+        ),
+    )
+    .with_tracer(recorder(ADAPTIVE_REQUESTS));
+    let adaptive_report = driver.run();
+    let pair = driver.tracer();
+    check_timeline(
+        "mems_adaptive",
+        &pair.second,
+        &adaptive_report,
+        &mut failures,
+    );
+    let migration = driver.device().migration_stats().clone();
+    check(
+        migration.swaps > 0,
+        &mut failures,
+        "mems_adaptive: no migrations on a skewed bursty stream",
+    );
+    let bg_wait: f64 = pair
+        .second
+        .windows()
+        .iter()
+        .map(|w| w.phase.background_wait)
+        .sum();
+    check(
+        (bg_wait - adaptive_report.breakdown_sum.background_wait).abs() < 1e-9,
+        &mut failures,
+        "mems_adaptive: telemetry background_wait does not reconcile with the report",
+    );
+    timeline.push_str(&pair.second.csv_rows("mems_adaptive"));
+    println!(
+        "mems_adaptive:   {} swaps ({} chunk I/Os), {:.1} ms foreground wait, {} windows",
+        migration.swaps,
+        migration.chunk_ios,
+        migration.foreground_wait_secs * 1e3,
+        pair.second.windows().len()
+    );
+
     write_csv("telemetry_timeline.csv", &timeline);
     write_csv("telemetry_heatmap.csv", &heatmap_csv);
 
@@ -291,6 +375,19 @@ fn main() -> ExitCode {
     let path = std::path::Path::new("target").join("telemetry_profile.json");
     if std::fs::write(&path, &json).is_ok() {
         println!("wrote {} (wall-clock, informational)", path.display());
+    }
+    let summary = format!(
+        "{{\n  \"cell\": \"mems_adaptive\",\n  \"completed\": {},\n  \
+         \"mean_response_ms\": {:.4},\n  \"background_wait_s\": {:.6},\n  \
+         \"migration\": {}\n}}\n",
+        adaptive_report.completed,
+        adaptive_report.response.mean_ms(),
+        adaptive_report.breakdown_sum.background_wait,
+        migration.summary_json()
+    );
+    let path = std::path::Path::new("target").join("telemetry_summary.json");
+    if std::fs::write(&path, &summary).is_ok() {
+        println!("wrote {}", path.display());
     }
     println!(
         "self-profile:    {:.0} events/s wall; sched_pick {:.1}%, device_service {:.1}% of wall",

@@ -149,6 +149,46 @@ impl MigrationStats {
             chunk_tail: LogHistogram::response_times(),
         }
     }
+
+    /// Folds another ledger into this one (every field is mergeable), so
+    /// a fleet of adaptive stations can report one pooled migration
+    /// ledger. Exact for counts and histogram bins; float sums follow
+    /// accumulation order.
+    pub fn accumulate(&mut self, other: &MigrationStats) {
+        self.swaps += other.swaps;
+        self.windows += other.windows;
+        self.chunk_ios += other.chunk_ios;
+        self.sectors += other.sectors;
+        self.busy_secs += other.busy_secs;
+        self.energy_j += other.energy_j;
+        self.breakdown_sum.accumulate(&other.breakdown_sum);
+        self.waits += other.waits;
+        self.foreground_wait_secs += other.foreground_wait_secs;
+        self.chunk_time.merge(&other.chunk_time);
+        self.chunk_tail.merge(&other.chunk_tail);
+    }
+
+    /// The ledger as one compact JSON object, for splicing into the
+    /// tracer summaries (`obs_report`, `telemetry_report`, `fleet_obs`)
+    /// so migration traffic is visible wherever a tracer is attached.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{ \"swaps\": {}, \"windows\": {}, \"chunk_ios\": {}, \"sectors\": {}, \
+             \"busy_s\": {:.6}, \"energy_j\": {:.6}, \"foreground_waits\": {}, \
+             \"foreground_wait_s\": {:.6}, \"chunk_mean_ms\": {:.4}, \
+             \"chunk_p99_ms\": {:.4} }}",
+            self.swaps,
+            self.windows,
+            self.chunk_ios,
+            self.sectors,
+            self.busy_secs,
+            self.energy_j,
+            self.waits,
+            self.foreground_wait_secs,
+            self.chunk_time.mean() * 1e3,
+            self.chunk_tail.quantile(0.99) * 1e3,
+        )
+    }
 }
 
 /// Migration request ids live in their own namespace (top bit set) so

@@ -30,9 +30,12 @@
 //! order, so a `shards = 1` fleet reproduces the single-loop driver
 //! bit for bit (asserted by the `fleet_equivalence` integration test).
 
+use std::time::Instant;
+
 use storage_sim::{
-    Completion, Driver, FaultClock, IoKind, LogHistogram, Request, ResponseStats, RunState,
-    Scheduler, SimReport, SimTime, StorageDevice, VecWorkload, Welford,
+    Completion, Driver, FaultClock, IoKind, LogHistogram, NoopTracer, ProfScope, Profiler, Request,
+    ResponseStats, RunState, Scheduler, ScopeStats, SimReport, SimTime, StorageDevice, Tracer,
+    VecWorkload, Welford,
 };
 
 use crate::volume::{SubIo, VolumeSpec};
@@ -125,30 +128,79 @@ impl FleetReport {
     /// A compact bit-exact fingerprint of the run, for determinism
     /// assertions: every float is rendered as its IEEE-754 bit pattern,
     /// so two digests match only if the runs are bit-identical.
+    ///
+    /// Every public field participates — aggregate moments (mean, spread,
+    /// extremes, counts) of each statistic plus an FNV-1a rollup of every
+    /// per-station report — so a divergence anywhere in the fleet cannot
+    /// slip past the CI identity gates. Digests are only ever compared
+    /// run-to-run within one process, never stored as goldens, so
+    /// extending this format is always safe.
     pub fn digest(&self) -> String {
         format!(
-            "fg={} bg={} subs={} mk={:016x} rm={:016x} rmax={:016x} qm={:016x} sm={:016x} \
-             p999={:016x} busy={:016x} faults={} depth={} restr={}",
+            "fg={} bg={} subs={} mk={:016x} rn={} rm={:016x} rsd={:016x} rmax={:016x} \
+             qm={:016x} qmax={:016x} sm={:016x} smax={:016x} bgn={} bgm={:016x} \
+             bgmax={:016x} tn={} ts={:016x} p999={:016x} busy={:016x} faults={} \
+             depth={} restr={} st={:016x}",
             self.completed,
             self.background_completed,
             self.subs_completed,
             self.makespan.as_secs().to_bits(),
+            self.response.count(),
             self.response.mean().to_bits(),
+            self.response.std_dev().to_bits(),
             self.response.max().to_bits(),
             self.queue_time.mean().to_bits(),
+            self.queue_time.max().to_bits(),
             self.service_time.mean().to_bits(),
+            self.service_time.max().to_bits(),
+            self.background_response.count(),
+            self.background_response.mean().to_bits(),
+            self.background_response.max().to_bits(),
+            self.tail.count(),
+            self.tail.sum().to_bits(),
             self.tail_quantile(0.999).to_bits(),
             self.busy_secs.to_bits(),
             self.fault_events,
             self.max_station_queue_depth,
             self.station_restructures,
+            self.stations_fingerprint(),
         )
+    }
+
+    /// FNV-1a hash over every station's report, in station order: counts,
+    /// bit patterns of the timing moments, queue and fault counters, and
+    /// the per-station completion stream length. Folded into
+    /// [`FleetReport::digest`] so per-station divergence (even one that
+    /// cancels out in the fleet aggregates) still flips the digest.
+    pub fn stations_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for s in &self.stations {
+            fold(s.completed);
+            fold(s.makespan.as_secs().to_bits());
+            fold(s.response.count());
+            fold(s.response.mean().to_bits());
+            fold(s.response.max().to_bits());
+            fold(s.queue_time.mean().to_bits());
+            fold(s.service_time.mean().to_bits());
+            fold(s.breakdown_sum.total().to_bits());
+            fold(s.busy_secs.to_bits());
+            fold(s.mean_queue_depth.to_bits());
+            fold(s.max_queue_depth as u64);
+            fold(s.fault_events);
+            fold(s.event_queue_restructures);
+            fold(s.completions.as_ref().map_or(0, |c| c.len() as u64));
+        }
+        h
     }
 }
 
 /// One station mid-run: its driver plus the session loop state.
-struct Cell<S: Scheduler, D: StorageDevice> {
-    driver: Driver<VecWorkload, S, D>,
+struct Cell<S: Scheduler, D: StorageDevice, T: Tracer> {
+    driver: Driver<VecWorkload, S, D, T>,
     state: RunState,
     pending: bool,
 }
@@ -205,16 +257,117 @@ impl Assembler {
 ///
 /// Build one with [`FleetEngine::new`] (foreground requests routed
 /// through a [`VolumeSpec`]), optionally attach per-station fault clocks
-/// and background streams, then [`FleetEngine::run`] it.
-pub struct FleetEngine<S: Scheduler, D: StorageDevice> {
+/// and background streams, then [`FleetEngine::run`] it. To observe the
+/// run, attach per-station tracers with
+/// [`FleetEngine::with_station_tracers`] and use
+/// [`FleetEngine::run_instrumented`], which hands the tracers back next
+/// to the report. Tracers observe; they never steer — an instrumented
+/// run's [`FleetReport`] is bit-identical to an untraced one.
+pub struct FleetEngine<S: Scheduler, D: StorageDevice, T: Tracer = NoopTracer> {
     devices: Vec<D>,
     schedulers: Vec<S>,
     workloads: Vec<Vec<Request>>,
     faults: Vec<FaultClock>,
+    tracers: Vec<T>,
     expected: Vec<u32>,
     arrivals: Vec<SimTime>,
     foreground: u64,
     config: FleetConfig,
+}
+
+/// Everything an instrumented fleet run produces: the aggregate report,
+/// each station's tracer (telemetry windows, event rings, …) and
+/// post-run device (migration ledgers, degraded maps) in station order,
+/// and the engine's own wall-clock profile.
+pub struct FleetRun<D: StorageDevice, T: Tracer> {
+    /// The aggregate fleet report — bit-identical to an untraced
+    /// [`FleetEngine::run`] of the same setup.
+    pub report: FleetReport,
+    /// Per-station tracers, recovered from the drivers after the run.
+    pub tracers: Vec<T>,
+    /// Per-station devices after the run — wrapper state such as the
+    /// adaptive-placement migration ledger is read from here.
+    pub devices: Vec<D>,
+    /// Wall-clock engine profile (barrier waits, merge time, per-shard
+    /// balance). Only populated when `T::PROFILE` is set; informational,
+    /// never part of a byte-gated artifact.
+    pub profile: FleetProfile,
+}
+
+/// Wall-clock self-profile of the fleet engine itself: where does the
+/// *engine* (as opposed to the stations' event loops) spend host time?
+///
+/// Populated only when the station tracer's [`Tracer::PROFILE`] flag is
+/// on; a `NoopTracer`/`Telemetry` fleet compiles the `Instant` reads out
+/// entirely. Wall-clock derived, therefore nondeterministic:
+/// informational artifacts only, never part of a golden or digest.
+#[derive(Debug, Clone, Default)]
+pub struct FleetProfile {
+    /// Barriers executed (equals cross-shard merge batches).
+    pub barriers: u64,
+    /// Total wall nanoseconds each shard spent advancing its stations,
+    /// indexed by shard. Spread here = shard imbalance.
+    pub shard_nanos: Vec<u64>,
+    profiler: Profiler,
+}
+
+impl FleetProfile {
+    fn new(shards: usize) -> Self {
+        FleetProfile {
+            barriers: 0,
+            shard_nanos: vec![0; shards],
+            profiler: Profiler::new(),
+        }
+    }
+
+    /// Wall time the main thread spent inside barriers (waiting for the
+    /// slowest shard), as a [`ScopeStats`].
+    pub fn barrier_wait(&self) -> ScopeStats {
+        self.profiler.scope(ProfScope::BarrierWait)
+    }
+
+    /// Wall time spent draining, sorting, and assembling completions.
+    pub fn merge(&self) -> ScopeStats {
+        self.profiler.scope(ProfScope::FleetMerge)
+    }
+
+    /// Shard imbalance: slowest shard's advance time over the mean
+    /// (1.0 = perfectly balanced; 0.0 before any profiled barrier).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.shard_nanos.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        let mean = self.shard_nanos.iter().sum::<u64>() as f64 / self.shard_nanos.len() as f64;
+        max as f64 / mean
+    }
+
+    /// The underlying [`Profiler`] (barrier-wait and fleet-merge scopes).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The profile as a compact JSON object (informational only).
+    pub fn summary_json(&self) -> String {
+        use std::fmt::Write as _;
+        let bw = self.barrier_wait();
+        let mg = self.merge();
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{ \"barriers\": {}, \"barrier_wait_s\": {:.6}, \"merge_s\": {:.6}, \
+             \"shard_imbalance\": {:.4}, \"shard_nanos\": [",
+            self.barriers,
+            bw.seconds(),
+            mg.seconds(),
+            self.imbalance(),
+        );
+        for (i, n) in self.shard_nanos.iter().enumerate() {
+            let _ = write!(s, "{}{n}", if i == 0 { "" } else { ", " });
+        }
+        s.push_str("] }");
+        s
+    }
 }
 
 impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
@@ -280,10 +433,36 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
             schedulers,
             workloads,
             faults: (0..n).map(|_| FaultClock::empty()).collect(),
+            tracers: (0..n).map(|_| NoopTracer).collect(),
             expected,
             arrivals,
             foreground: requests.len() as u64,
             config,
+        }
+    }
+}
+
+impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
+    /// Attaches one tracer per station (telemetry, ring, pairs, …),
+    /// rebinding the engine's tracer type. `make` is called once per
+    /// station, in station order. Tracers are observation-only: the
+    /// simulated results stay bit-identical to an untraced run (gated by
+    /// the `fleet_observability` integration test).
+    pub fn with_station_tracers<T2: Tracer>(
+        self,
+        mut make: impl FnMut(usize) -> T2,
+    ) -> FleetEngine<S, D, T2> {
+        let n = self.devices.len();
+        FleetEngine {
+            devices: self.devices,
+            schedulers: self.schedulers,
+            workloads: self.workloads,
+            faults: self.faults,
+            tracers: (0..n).map(&mut make).collect(),
+            expected: self.expected,
+            arrivals: self.arrivals,
+            foreground: self.foreground,
+            config: self.config,
         }
     }
 
@@ -325,13 +504,31 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
     ///
     /// `Send` bounds exist so shards can advance on worker threads; with
     /// `threads == 1` everything runs on the caller's thread.
-    pub fn run(mut self) -> FleetReport
+    pub fn run(self) -> FleetReport
     where
         S: Send,
         D: Send,
+        T: Send,
+    {
+        self.run_instrumented().report
+    }
+
+    /// Runs the fleet and returns the report together with every
+    /// station's tracer and the engine's wall-clock profile.
+    ///
+    /// The simulation path is exactly [`FleetEngine::run`]'s — tracers
+    /// observe through the driver's existing hooks and the profile reads
+    /// the host clock without feeding anything back, so the report is
+    /// bit-identical to an untraced run.
+    pub fn run_instrumented(mut self) -> FleetRun<D, T>
+    where
+        S: Send,
+        D: Send,
+        T: Send,
     {
         let n = self.devices.len();
         let config = self.config;
+        let mut profile = FleetProfile::new(config.shards.min(n).max(1));
 
         // Background pushes may land before already-queued foreground
         // subs; per-station order must be by arrival. The sort is stable,
@@ -340,14 +537,16 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
             w.sort_by_key(|r| r.arrival);
         }
 
-        let mut cells: Vec<Cell<S, D>> = Vec::with_capacity(n);
-        for ((device, scheduler), (workload, faults)) in self
+        let mut cells: Vec<Cell<S, D, T>> = Vec::with_capacity(n);
+        for (((device, scheduler), tracer), (workload, faults)) in self
             .devices
             .into_iter()
             .zip(self.schedulers)
+            .zip(self.tracers)
             .zip(self.workloads.into_iter().zip(self.faults))
         {
             let mut driver = Driver::new(VecWorkload::new(workload), scheduler, device)
+                .with_tracer(tracer)
                 .record_completions(true)
                 .with_faults(faults);
             let state = driver.begin();
@@ -389,7 +588,21 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
             let grid = SimTime::from_secs((next.as_secs() / epoch_secs).ceil() * epoch_secs);
             let barrier = grid.max(next);
 
-            advance_shards(&mut cells, barrier, config.shards, config.threads);
+            let t0 = T::PROFILE.then(Instant::now);
+            advance_shards(
+                &mut cells,
+                barrier,
+                config.shards,
+                config.threads,
+                T::PROFILE.then_some(&mut profile.shard_nanos),
+            );
+            if let Some(t0) = t0 {
+                profile
+                    .profiler
+                    .on_scope(ProfScope::BarrierWait, t0.elapsed().as_nanos() as u64);
+            }
+            profile.barriers += 1;
+            let m0 = T::PROFILE.then(Instant::now);
 
             // Drain in station order, then impose the global order:
             // (completion time, station, per-station drain order). The
@@ -427,8 +640,15 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
                     }
                 }
             }
+            if let Some(m0) = m0 {
+                profile
+                    .profiler
+                    .on_scope(ProfScope::FleetMerge, m0.elapsed().as_nanos() as u64);
+            }
         }
 
+        let mut tracers = Vec::with_capacity(n);
+        let mut devices = Vec::with_capacity(n);
         for (cell, completions) in cells.into_iter().zip(station_completions) {
             let Cell {
                 mut driver, state, ..
@@ -441,8 +661,16 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
                 report.max_station_queue_depth.max(station.max_queue_depth);
             station.completions = Some(completions);
             report.stations.push(station);
+            let (tracer, device) = driver.into_observables();
+            tracers.push(tracer);
+            devices.push(device);
         }
-        report
+        FleetRun {
+            report,
+            tracers,
+            devices,
+            profile,
+        }
     }
 }
 
@@ -450,15 +678,25 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
 /// contiguous station ranges; worker threads take shards round-robin.
 /// Stations never share state, so the split is embarrassingly parallel
 /// and the post-barrier fleet state is independent of both knobs.
-fn advance_shards<S: Scheduler + Send, D: StorageDevice + Send>(
-    cells: &mut [Cell<S, D>],
+///
+/// When `shard_nanos` is supplied (profiled runs), each shard's advance
+/// wall time accumulates into its slot — slots are disjoint per shard,
+/// so workers never contend. Timing reads the host clock and feeds
+/// nothing back into simulation state.
+/// One shard's unit of work: its contiguous cell slice plus the
+/// optional wall-clock accumulator slot (profiled runs only).
+type ShardJob<'a, S, D, T> = (&'a mut [Cell<S, D, T>], Option<&'a mut u64>);
+
+fn advance_shards<S: Scheduler + Send, D: StorageDevice + Send, T: Tracer + Send>(
+    cells: &mut [Cell<S, D, T>],
     barrier: SimTime,
     shards: usize,
     threads: usize,
+    shard_nanos: Option<&mut [u64]>,
 ) {
     let n = cells.len();
     let shards = shards.min(n).max(1);
-    let mut slices: Vec<&mut [Cell<S, D>]> = Vec::with_capacity(shards);
+    let mut slices: Vec<&mut [Cell<S, D, T>]> = Vec::with_capacity(shards);
     let mut rest = cells;
     let mut start = 0;
     for s in 0..shards {
@@ -468,30 +706,41 @@ fn advance_shards<S: Scheduler + Send, D: StorageDevice + Send>(
         rest = tail;
         start = end;
     }
+    let mut nanos_slots: Vec<Option<&mut u64>> = match shard_nanos {
+        Some(slots) => slots.iter_mut().map(Some).collect(),
+        None => (0..shards).map(|_| None).collect(),
+    };
+    let mut jobs: Vec<ShardJob<'_, S, D, T>> =
+        slices.into_iter().zip(nanos_slots.drain(..)).collect();
 
-    let advance = |shard: &mut [Cell<S, D>]| {
+    let advance = |(shard, slot): ShardJob<'_, S, D, T>| {
+        let t0 = slot.is_some().then(Instant::now);
         for cell in shard.iter_mut() {
             if cell.pending {
                 cell.pending = cell.driver.advance_until(&mut cell.state, barrier);
             }
         }
+        if let (Some(slot), Some(t0)) = (slot, t0) {
+            *slot += t0.elapsed().as_nanos() as u64;
+        }
     };
 
     if threads <= 1 || shards <= 1 {
-        for shard in slices {
-            advance(shard);
+        for job in jobs {
+            advance(job);
         }
     } else {
         let workers = threads.min(shards);
-        let mut queues: Vec<Vec<&mut [Cell<S, D>]>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, shard) in slices.into_iter().enumerate() {
-            queues[i % workers].push(shard);
+        let mut queues: Vec<Vec<ShardJob<'_, S, D, T>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.drain(..).enumerate() {
+            queues[i % workers].push(job);
         }
         std::thread::scope(|scope| {
             for queue in queues {
                 scope.spawn(move || {
-                    for shard in queue {
-                        advance(shard);
+                    for job in queue {
+                        advance(job);
                     }
                 });
             }

@@ -13,7 +13,16 @@
 //!   completion merge at sim-time barriers;
 //! * [`RebuildPlan`] — paced background copy streams for
 //!   rebuild-under-load experiments, layered on the per-station
-//!   [`storage_sim::FaultClock`] fault machinery.
+//!   [`storage_sim::FaultClock`] fault machinery;
+//! * [`FleetTimeline`] — the fleet-wide observability merge: per-station
+//!   [`storage_sim::Telemetry`] windows coarsened to a common width and
+//!   folded (in station order — deterministic) into fleet p50/p95/p99/
+//!   p99.9, queue-depth, utilization, and energy-rate time series that
+//!   reconcile *exactly* with the [`FleetReport`] counts;
+//! * [`health`] — fleet health analytics over those series: utilization
+//!   and tail skew across stations, a hysteresis straggler detector,
+//!   rebuild progress tracking, and shard-balance metrics from the
+//!   engine's [`FleetProfile`].
 //!
 //! Results are bit-identical for any shard count, thread count, and
 //! barrier width (see the [`engine`] module docs for the argument), so
@@ -23,9 +32,16 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod health;
 pub mod rebuild;
+pub mod timeline;
 pub mod volume;
 
-pub use engine::{FleetConfig, FleetEngine, FleetReport};
+pub use engine::{FleetConfig, FleetEngine, FleetProfile, FleetReport, FleetRun};
+pub use health::{
+    detect_stragglers, tail_skew, utilization_skew, ProgressSeries, StationHealth, StragglerEvent,
+    StragglerPolicy, StragglerReport,
+};
 pub use rebuild::RebuildPlan;
+pub use timeline::FleetTimeline;
 pub use volume::{SubIo, VolumeSpec};

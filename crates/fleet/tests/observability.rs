@@ -1,0 +1,76 @@
+//! Property tests for the fleet timeline merge: integer totals survive
+//! any mix of per-station window budgets — coarsening and the
+//! cross-station fold are exact, never lossy.
+
+use proptest::prelude::*;
+use storage_sim::{Completion, IoKind, Request, SimTime, Telemetry, Tracer};
+
+use mems_fleet::FleetTimeline;
+
+/// Replays `(at_ms, response_ms)` samples into a telemetry series with
+/// the given window budget. Tiny budgets force repeated pairwise
+/// coarsening; the event content is identical either way.
+fn telemetry_with(events: &[(u16, u8)], max_windows: usize) -> Telemetry {
+    let mut t = Telemetry::new(0.010, max_windows);
+    for (i, &(at_ms, resp_ms)) in events.iter().enumerate() {
+        let arrival = SimTime::from_ms(f64::from(at_ms));
+        let completion = SimTime::from_ms(f64::from(at_ms) + f64::from(resp_ms.max(1)));
+        let c = Completion {
+            request: Request::new(i as u64, arrival, 0, 8, IoKind::Read),
+            start_service: arrival,
+            completion,
+        };
+        t.on_arrival(&c.request, arrival, 1);
+        t.on_complete(&c);
+    }
+    t
+}
+
+proptest! {
+    /// Merged fleet totals equal the sum of per-station totals — as
+    /// integers — no matter how unevenly the stations' window budgets
+    /// (and therefore coarsening depths) are chosen.
+    #[test]
+    fn timeline_totals_match_station_sums(
+        stations in prop::collection::vec(
+            (
+                prop::collection::vec((0u16..5_000, 1u8..80), 1..120),
+                2u32..13, // window budget 4..4096: small ones must coarsen
+            ),
+            1..5,
+        ),
+    ) {
+        let tels: Vec<Telemetry> = stations
+            .iter()
+            .map(|(events, budget_pow)| telemetry_with(events, 1usize << budget_pow))
+            .collect();
+        let want: u64 = stations.iter().map(|(e, _)| e.len() as u64).sum();
+
+        let tl = FleetTimeline::merge(&tels);
+        prop_assert_eq!(tl.total_completions(), want);
+        prop_assert_eq!(tl.total_arrivals(), want);
+        prop_assert_eq!(tl.total_faults(), 0);
+        let response_samples: u64 = tl.windows().iter().map(|w| w.responses.count()).sum();
+        prop_assert_eq!(response_samples, want);
+
+        // The merged width is the widest station's width, and every
+        // per-station series reaches it exactly (power-of-two multiples
+        // of the shared base width).
+        let widest = tels
+            .iter()
+            .map(Telemetry::window_secs)
+            .fold(0.0f64, f64::max);
+        prop_assert_eq!(tl.window_secs(), widest);
+
+        // Byte determinism: merging the same inputs again reproduces the
+        // exact CSV, and coarsening a station further below the common
+        // width changes nothing (alignment already absorbs it).
+        let again = FleetTimeline::merge(&tels);
+        prop_assert_eq!(tl.csv_rows("fleet"), again.csv_rows("fleet"));
+        let mut recoarsened = tels.clone();
+        recoarsened[0].coarsen_to(widest);
+        let aligned = FleetTimeline::merge(&recoarsened);
+        prop_assert_eq!(aligned.total_completions(), want);
+        prop_assert_eq!(tl.csv_rows("fleet"), aligned.csv_rows("fleet"));
+    }
+}

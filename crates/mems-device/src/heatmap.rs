@@ -167,6 +167,47 @@ impl MediaHeatmap {
         }
     }
 
+    /// Folds another heatmap into this one, cell by cell — the pooled
+    /// fleet view: per-station heatmaps recorded independently merge into
+    /// one media-wide picture. Counts add exactly; dwell and energy add
+    /// in argument order (deterministic for a fixed station order).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both heatmaps share the same geometry and grid
+    /// (merging different devices' grids would silently misattribute
+    /// cells).
+    pub fn merge(&mut self, other: &MediaHeatmap) {
+        assert!(
+            self.x_cells == other.x_cells
+                && self.y_cells == other.y_cells
+                && self.geom.total_sectors() == other.geom.total_sectors()
+                && self.geom.cylinders == other.geom.cylinders
+                && self.geom.rows_per_track == other.geom.rows_per_track
+                && self.geom.tracks_per_cylinder == other.geom.tracks_per_cylinder
+                && self.geom.sectors_per_row == other.geom.sectors_per_row,
+            "heatmap merge requires identical geometry and grid"
+        );
+        for (a, b) in self.region_accesses.iter_mut().zip(&other.region_accesses) {
+            *a += b;
+        }
+        for (a, b) in self.region_sectors.iter_mut().zip(&other.region_sectors) {
+            *a += b;
+        }
+        for (a, b) in self.region_dwell_s.iter_mut().zip(&other.region_dwell_s) {
+            *a += b;
+        }
+        for (a, b) in self.region_energy_j.iter_mut().zip(&other.region_energy_j) {
+            *a += b;
+        }
+        for (a, b) in self.tip_sectors.iter_mut().zip(&other.tip_sectors) {
+            *a += b;
+        }
+        self.requests += other.requests;
+        self.stripes += other.stripes;
+        self.sectors += other.sectors;
+    }
+
     /// Region grid width (cylinder buckets).
     pub fn x_cells(&self) -> usize {
         self.x_cells
@@ -342,5 +383,34 @@ mod tests {
     #[should_panic(expected = "beyond capacity")]
     fn oversized_request_rejected() {
         map().record(6_749_999, 2, 0.0);
+    }
+
+    #[test]
+    fn merge_pools_counts_exactly() {
+        let mut a = map();
+        let mut b = map();
+        a.record(15, 8, 1e-6);
+        b.record(15, 8, 1e-6);
+        b.record(530, 20, 2e-6);
+        let sum_before = a.total_sectors() + b.total_sectors();
+        a.merge(&b);
+        assert_eq!(a.total_sectors(), sum_before);
+        assert_eq!(a.requests(), 3);
+        assert_eq!(a.region_access_total(), a.total_stripes());
+        assert_eq!(a.tip_sector_total(), a.total_sectors());
+        // Cell (0,0): 8 + 8 from the two lbn-15 records, plus the 10
+        // sectors of the lbn-530 request that spill into the next row
+        // pass (row 9 = track 1, row 0 — same grid cell).
+        assert_eq!(a.region_sectors(0, 0), 26);
+        // Byte-stable merged CSV for a fixed merge order.
+        assert_eq!(a.csv_rows("m"), a.clone().csv_rows("m"));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical geometry")]
+    fn merge_rejects_grid_mismatch() {
+        let mut a = map();
+        let b = MediaHeatmap::new(&MemsParams::default(), 5, 9);
+        a.merge(&b);
     }
 }

@@ -310,6 +310,20 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
         &self.tracer
     }
 
+    /// Consumes the driver and returns its tracer — for harnesses (e.g.
+    /// the fleet engine) that build drivers internally and need to hand
+    /// the recorded telemetry back out after the run.
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
+    /// Consumes the driver and returns its tracer together with the
+    /// post-run device, whose wrapper state (migration ledgers, degraded-
+    /// mode maps, cache counters) is itself an observability surface.
+    pub fn into_observables(self) -> (T, D) {
+        (self.tracer, self.device)
+    }
+
     /// Parks an arriving request in the store (slab-alloc scope timed).
     fn park_arrival(&mut self, req: Request) -> R::ArrivalHandle {
         if T::PROFILE && R::IS_SLAB {

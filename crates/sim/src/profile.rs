@@ -42,6 +42,12 @@ pub enum ProfScope {
     SlabAlloc,
     /// One slab removal redeeming a slot handle.
     SlabFree,
+    /// One fleet barrier: the engine waiting for every shard worker to
+    /// advance its stations to the epoch-grid barrier time.
+    BarrierWait,
+    /// One fleet cross-shard merge: draining per-station completions,
+    /// stable-sorting the batch, and feeding the stripe assembler.
+    FleetMerge,
 }
 
 impl ProfScope {
@@ -55,6 +61,8 @@ impl ProfScope {
             ProfScope::EventPop => "event_pop",
             ProfScope::SlabAlloc => "slab_alloc",
             ProfScope::SlabFree => "slab_free",
+            ProfScope::BarrierWait => "barrier_wait",
+            ProfScope::FleetMerge => "fleet_merge",
         }
     }
 }
@@ -71,7 +79,9 @@ pub struct ScopeStats {
 }
 
 impl ScopeStats {
-    fn record(&mut self, nanos: u64) {
+    /// Folds one timed call into the stats (public so layers above the
+    /// driver — e.g. the fleet engine — can reuse the same accumulator).
+    pub fn record(&mut self, nanos: u64) {
         self.calls += 1;
         self.nanos += nanos;
         self.max_nanos = self.max_nanos.max(nanos);
@@ -113,6 +123,8 @@ pub struct Profiler {
     event_pop: ScopeStats,
     slab_alloc: ScopeStats,
     slab_free: ScopeStats,
+    barrier_wait: ScopeStats,
+    fleet_merge: ScopeStats,
     events: u64,
     run_nanos: u64,
 }
@@ -133,6 +145,8 @@ impl Profiler {
             ProfScope::EventPop => self.event_pop,
             ProfScope::SlabAlloc => self.slab_alloc,
             ProfScope::SlabFree => self.slab_free,
+            ProfScope::BarrierWait => self.barrier_wait,
+            ProfScope::FleetMerge => self.fleet_merge,
         }
     }
 
@@ -179,6 +193,8 @@ impl Profiler {
             ProfScope::EventPop,
             ProfScope::SlabAlloc,
             ProfScope::SlabFree,
+            ProfScope::BarrierWait,
+            ProfScope::FleetMerge,
         ];
         let mut attributed = 0.0;
         for (i, sc) in scopes.iter().enumerate() {
@@ -231,6 +247,8 @@ impl Tracer for Profiler {
             ProfScope::EventPop => self.event_pop.record(wall_nanos),
             ProfScope::SlabAlloc => self.slab_alloc.record(wall_nanos),
             ProfScope::SlabFree => self.slab_free.record(wall_nanos),
+            ProfScope::BarrierWait => self.barrier_wait.record(wall_nanos),
+            ProfScope::FleetMerge => self.fleet_merge.record(wall_nanos),
         }
     }
 

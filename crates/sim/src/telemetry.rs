@@ -203,6 +203,63 @@ impl Telemetry {
         &mut self.windows[idx]
     }
 
+    /// Coarsens the series until its window width reaches `target_width`.
+    ///
+    /// This is the alignment half of the fleet merge API: per-station
+    /// series that coarsened a different number of times (stations see
+    /// different event densities) are brought to a common width before
+    /// window-wise merging. Coarsening is the same exact pairwise merge
+    /// the memory bound uses, so counts, sums, and histogram bins are
+    /// preserved bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_width` is not the current width times a
+    /// non-negative power of two — anything else cannot be reached by
+    /// pairwise merging and would silently misalign windows.
+    pub fn coarsen_to(&mut self, target_width: f64) {
+        assert!(
+            target_width >= self.window_secs,
+            "cannot refine a coarsened series ({} -> {target_width})",
+            self.window_secs
+        );
+        while self.window_secs < target_width {
+            self.coarsen();
+        }
+        assert!(
+            self.window_secs == target_width,
+            "target width {target_width} is not a power-of-two multiple of \
+             the base width (reached {})",
+            self.window_secs
+        );
+    }
+
+    /// Merges another series into this one, window-by-window. Both series
+    /// must share the same window width (align with
+    /// [`Telemetry::coarsen_to`] first); window `i` of `other` folds into
+    /// window `i` of `self` via the exact [`Window::merge`]. The window
+    /// budget grows if `other` is longer, so merging never triggers a
+    /// coarsening of its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ.
+    pub fn merge_from(&mut self, other: &Telemetry) {
+        assert!(
+            self.window_secs == other.window_secs,
+            "merge requires equal window widths ({} vs {})",
+            self.window_secs,
+            other.window_secs
+        );
+        if other.windows.len() > self.windows.len() {
+            self.windows.resize_with(other.windows.len(), Window::empty);
+            self.max_windows = self.max_windows.max(self.windows.len());
+        }
+        for (mine, theirs) in self.windows.iter_mut().zip(&other.windows) {
+            mine.merge(theirs);
+        }
+    }
+
     fn coarsen(&mut self) {
         let mut merged = Vec::with_capacity(self.windows.len().div_ceil(2));
         for pair in self.windows.chunks(2) {
@@ -225,7 +282,7 @@ impl Telemetry {
         "cell,window,start_s,end_s,arrivals,completions,throughput_rps,\
          resp_mean_ms,resp_p50_ms,resp_p95_ms,resp_p99_ms,queue_avg,queue_max,\
          util_seek_x,util_settle,util_seek_y,util_rotation,util_transfer,\
-         util_turnaround,util_fault_recovery,energy_w,faults"
+         util_turnaround,util_fault_recovery,util_background_wait,energy_w,faults"
     }
 
     /// The series as CSV rows (no header), one line per window, each
@@ -239,7 +296,7 @@ impl Telemetry {
             let (start, end) = self.window_bounds(i);
             let _ = writeln!(
                 out,
-                "{cell},{i},{start:.3},{end:.3},{},{},{:.2},{:.3},{:.3},{:.3},{:.3},{:.3},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}",
+                "{cell},{i},{start:.3},{end:.3},{},{},{:.2},{:.3},{:.3},{:.3},{:.3},{:.3},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}",
                 w.arrivals,
                 w.completions,
                 w.completions as f64 / width,
@@ -256,6 +313,7 @@ impl Telemetry {
                 w.phase.transfer / width,
                 w.phase.turnaround / width,
                 w.phase.fault_recovery / width,
+                w.phase.background_wait / width,
                 w.energy.total() / width,
                 w.faults,
             );
@@ -481,5 +539,49 @@ mod tests {
     #[should_panic(expected = "two windows")]
     fn tiny_window_budget_rejected() {
         let _ = Telemetry::new(0.01, 1);
+    }
+
+    #[test]
+    fn coarsen_to_aligns_and_preserves_totals() {
+        let mut t = Telemetry::new(0.001, 256);
+        for i in 0..40u64 {
+            t.on_complete(&complete_at(i, i as f64, 0.2));
+        }
+        let before: u64 = t.windows().iter().map(|w| w.completions).sum();
+        t.coarsen_to(0.008); // 0.001 * 2^3
+        assert_eq!(t.window_secs(), 0.008);
+        let after: u64 = t.windows().iter().map(|w| w.completions).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn coarsen_to_rejects_unreachable_width() {
+        let mut t = Telemetry::new(0.001, 16);
+        t.coarsen_to(0.003);
+    }
+
+    #[test]
+    fn merge_from_is_window_wise_and_exact() {
+        let mut a = Telemetry::new(0.010, 16);
+        let mut b = Telemetry::new(0.010, 16);
+        a.on_complete(&complete_at(0, 5.0, 1.0));
+        b.on_complete(&complete_at(1, 5.0, 3.0));
+        b.on_complete(&complete_at(2, 25.0, 2.0));
+        b.on_fault(&FaultKind::TransientSeekError, SimTime::from_ms(25.0));
+        a.merge_from(&b);
+        assert_eq!(a.windows().len(), 3);
+        assert_eq!(a.windows()[0].completions, 2);
+        assert_eq!(a.windows()[2].completions, 1);
+        assert_eq!(a.windows()[2].faults, 1);
+        assert!((a.windows()[0].responses.mean() - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal window widths")]
+    fn merge_from_rejects_width_mismatch() {
+        let mut a = Telemetry::new(0.010, 16);
+        let b = Telemetry::new(0.020, 16);
+        a.merge_from(&b);
     }
 }
