@@ -156,6 +156,7 @@ fn fleet16_engine(
             threads,
             epoch: SimTime::from_ms(10.0),
             warmup_requests: 0,
+            ..FleetConfig::default()
         },
     );
     engine.set_station_faults(
@@ -359,6 +360,7 @@ fn rebuild_cell(
             threads: 4,
             epoch: SimTime::from_ms(10.0),
             warmup_requests: 0,
+            ..FleetConfig::default()
         },
     );
     engine.set_station_faults(
@@ -452,6 +454,7 @@ fn adaptive_cell(scale: u64) -> MigrationStats {
             threads: ADAPTIVE_DEVICES,
             epoch: SimTime::from_ms(10.0),
             warmup_requests: 0,
+            ..FleetConfig::default()
         },
     )
     .run_instrumented();

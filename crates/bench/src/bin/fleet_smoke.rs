@@ -91,6 +91,7 @@ fn scale_cell(devices: usize, shards: usize, threads: usize, scale: u64) -> Flee
             threads,
             epoch: SimTime::from_ms(10.0),
             warmup_requests: reqs / 20,
+            ..FleetConfig::default()
         },
     )
     .run()
@@ -260,6 +261,7 @@ fn tail_experiment(t: &mut Vec<String>, scale: u64, long: bool) {
                 threads: 8,
                 epoch: SimTime::from_ms(10.0),
                 warmup_requests: reqs / 20,
+                ..FleetConfig::default()
             },
         )
         .run();
@@ -326,6 +328,7 @@ fn rebuild_experiment(t: &mut Vec<String>, scale: u64, long: bool) {
                 threads: 4,
                 epoch: SimTime::from_ms(10.0),
                 warmup_requests: reqs / 20,
+                ..FleetConfig::default()
             },
         )
     };

@@ -27,19 +27,32 @@
 //!    the raw event engine. Both report `simulated requests per core
 //!    second` (the gated CI metric) and confirm the pre-sized event queue
 //!    never restructured mid-run.
+//! 7. **streaming_scale** — the constant-memory headline: a 10⁷-request
+//!    open-loop FIFO cell pulled incrementally from the generator
+//!    (arrival look-ahead + log-histogram stats, nothing materialized)
+//!    and a 10⁶-request 64-station streaming fleet cell, both reporting
+//!    requests per core-second and the peak-RSS delta over the
+//!    post-surface baseline (the shared seek surface is excluded by
+//!    construction). An in-process gate first proves the streamed paths
+//!    digest-identical to the materialized ones; CI greps
+//!    `"streamed_identical": true` and holds the RSS delta under a fixed
+//!    ceiling.
 //!
 //! Run from the workspace root: `cargo run --release -p mems-bench --bin
-//! perf_smoke` (pass a request count to override the default 4000).
+//! perf_smoke` (pass a request count to override the default 4000; pass
+//! `--streaming-requests N` to resize the streaming cells — the weekly
+//! long-horizon job passes 100000000).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use mems_bench::{replicated_point, shared_seek_surface, surfaced_mems_device};
 use mems_device::{MemsDevice, MemsParams};
+use mems_fleet::{FleetConfig, FleetEngine, VolumeSpec};
 use mems_os::sched::{Algorithm, NaiveSptfScheduler, SptfScheduler};
 use storage_sim::{
     BinaryHeapEventQueue, Driver, DynScheduler, EventQueue, FifoScheduler, IoKind, PositionOracle,
-    Request, Scheduler, SimQueue, SimTime, Slab, StorageDevice,
+    Request, Scheduler, SimQueue, SimReport, SimTime, Slab, StorageDevice, VecWorkload, Workload,
 };
 use storage_trace::RandomWorkload;
 
@@ -211,11 +224,139 @@ fn time_cell<S: Scheduler>(
     }
 }
 
+/// Peak resident-set size (`VmHWM`) of this process in kB, from
+/// `/proc/self/status`. `None` off Linux — the streaming section then
+/// reports throughput only.
+fn peak_rss_kb() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Bit-exact digest of a driver run: every Welford-derived aggregate as
+/// raw f64 bits plus the explicit overload billing, so a streamed run can
+/// be asserted identical to its materialized twin.
+fn sim_digest(r: &SimReport) -> String {
+    format!(
+        "n={} shed={} to={} mk={:016x} rn={} rm={:016x} rsd={:016x} rmax={:016x} \
+         qm={:016x} sm={:016x} busy={:016x} depth={} restr={}",
+        r.completed,
+        r.shed,
+        r.timed_out,
+        r.makespan.as_secs().to_bits(),
+        r.response.count(),
+        r.response.mean().to_bits(),
+        r.response.std_dev().to_bits(),
+        r.response.max().to_bits(),
+        r.queue_time.mean().to_bits(),
+        r.service_time.mean().to_bits(),
+        r.busy_secs.to_bits(),
+        r.max_queue_depth,
+        r.event_queue_restructures,
+    )
+}
+
+fn collect_requests(mut w: impl Workload) -> Vec<Request> {
+    let mut out = Vec::new();
+    while let Some(r) = w.next_request() {
+        out.push(r);
+    }
+    out
+}
+
+/// The streamed-vs-materialized identity gate, run in-process before the
+/// big streaming cells: a buffered-arrival constant-memory driver run and
+/// a streaming fleet run must both be digest-identical to their fully
+/// materialized twins. CI greps the resulting `"streamed_identical"`.
+fn streaming_identity_gate() -> bool {
+    let params = MemsParams::default();
+    const N: u64 = 50_000;
+    let materialized = Driver::new(
+        VecWorkload::new(collect_requests(RandomWorkload::paper(
+            CAPACITY, 500.0, N, 11,
+        ))),
+        FifoScheduler::new(),
+        surfaced_mems_device(&params),
+    )
+    .warmup_requests(WARMUP)
+    .run();
+    let streamed = Driver::new(
+        RandomWorkload::paper(CAPACITY, 500.0, N, 11),
+        FifoScheduler::new(),
+        surfaced_mems_device(&params),
+    )
+    .with_arrival_lookahead(4096)
+    .streaming_stats(true)
+    .warmup_requests(WARMUP)
+    .run();
+    let driver_ok = sim_digest(&materialized) == sim_digest(&streamed);
+    if !driver_ok {
+        eprintln!("warning: streamed driver diverged from materialized run");
+        eprintln!("  materialized: {}", sim_digest(&materialized));
+        eprintln!("  streamed:     {}", sim_digest(&streamed));
+    }
+
+    let stations = 16;
+    let volume = VolumeSpec::flat(stations, 64);
+    let fleet_n = 20_000u64;
+    let rate = 500.0 * stations as f64;
+    let cfg = FleetConfig {
+        shards: stations,
+        warmup_requests: WARMUP,
+        keep_station_completions: false,
+        ..FleetConfig::default()
+    };
+    let fleet_requests = collect_requests(RandomWorkload::paper(
+        volume.capacity(CAPACITY),
+        rate,
+        fleet_n,
+        12,
+    ));
+    let fleet_materialized = FleetEngine::new(
+        (0..stations)
+            .map(|_| surfaced_mems_device(&params))
+            .collect(),
+        |_| SptfScheduler::new(),
+        &volume,
+        &fleet_requests,
+        cfg,
+    )
+    .run();
+    let fleet_streamed = FleetEngine::streaming(
+        (0..stations)
+            .map(|_| surfaced_mems_device(&params))
+            .collect(),
+        |_| SptfScheduler::new(),
+        volume.clone(),
+        RandomWorkload::paper(volume.capacity(CAPACITY), rate, fleet_n, 12),
+        FleetConfig {
+            streaming_stats: true,
+            ..cfg
+        },
+    )
+    .run();
+    let fleet_ok = fleet_materialized.digest() == fleet_streamed.digest();
+    if !fleet_ok {
+        eprintln!("warning: streaming fleet diverged from materialized fleet");
+        eprintln!("  materialized: {}", fleet_materialized.digest());
+        eprintln!("  streamed:     {}", fleet_streamed.digest());
+    }
+    driver_ok && fleet_ok
+}
+
 fn main() {
-    let requests: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requests: u64 = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
         .unwrap_or(4000);
+    let stream_requests: u64 = args
+        .iter()
+        .position(|a| a == "--streaming-requests")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000_000);
     // Keep some measured requests even for tiny runs, or the reported
     // means are silently computed over zero completions.
     let warmup = WARMUP.min(requests / 2);
@@ -370,6 +511,81 @@ fn main() {
         );
     }
 
+    // 7. streaming_scale: the constant-memory headline. Identity gate
+    // first, then the two big cells, measuring wall clock and the
+    // peak-RSS growth over the post-surface baseline.
+    let streamed_identical = streaming_identity_gate();
+    let baseline_rss_kb = peak_rss_kb();
+    let rss_supported = baseline_rss_kb.is_some();
+    let baseline_kb = baseline_rss_kb.unwrap_or(0);
+
+    const STREAM_RATE: f64 = 500.0;
+    const STREAM_LOOKAHEAD: usize = 4096;
+    let (open_loop, open_loop_secs) = timed(|| {
+        Driver::new(
+            RandomWorkload::paper(CAPACITY, STREAM_RATE, stream_requests, 21),
+            FifoScheduler::new(),
+            surfaced_mems_device(&MemsParams::default()),
+        )
+        .with_arrival_lookahead(STREAM_LOOKAHEAD)
+        .streaming_stats(true)
+        .warmup_requests(warmup)
+        .run()
+    });
+    let open_loop_rps = open_loop.completed as f64 / open_loop_secs;
+    let open_loop_rss_kb = peak_rss_kb().unwrap_or(0).saturating_sub(baseline_kb);
+    println!(
+        "streaming:   identity gate {}   open-loop {} reqs  {:9.0} req/core-s ({:.3} s wall, ΔRSS {} kB, restructures {})",
+        if streamed_identical { "ok" } else { "FAILED" },
+        stream_requests,
+        open_loop_rps,
+        open_loop_secs,
+        open_loop_rss_kb,
+        open_loop.event_queue_restructures
+    );
+
+    const FLEET_STATIONS: usize = 64;
+    let fleet_requests = (stream_requests / 10).max(1);
+    let fleet_volume = VolumeSpec::flat(FLEET_STATIONS, 64);
+    let fleet_rate = STREAM_RATE * FLEET_STATIONS as f64;
+    let (fleet_report, fleet_secs) = timed(|| {
+        FleetEngine::streaming(
+            (0..FLEET_STATIONS)
+                .map(|_| surfaced_mems_device(&MemsParams::default()))
+                .collect(),
+            |_| SptfScheduler::new(),
+            fleet_volume.clone(),
+            RandomWorkload::paper(
+                fleet_volume.capacity(CAPACITY),
+                fleet_rate,
+                fleet_requests,
+                22,
+            ),
+            FleetConfig {
+                shards: FLEET_STATIONS,
+                threads: 1,
+                warmup_requests: warmup,
+                keep_station_completions: false,
+                streaming_stats: true,
+                ..FleetConfig::default()
+            },
+        )
+        .run()
+    });
+    let fleet_rps = fleet_report.completed as f64 / fleet_secs;
+    let fleet_rss_kb = peak_rss_kb().unwrap_or(0).saturating_sub(baseline_kb);
+    println!(
+        "             fleet {} reqs x {FLEET_STATIONS} stations  {:9.0} req/core-s ({:.3} s wall, ΔRSS {} kB, restructures {})",
+        fleet_requests,
+        fleet_rps,
+        fleet_secs,
+        fleet_rss_kb,
+        fleet_report.station_restructures
+    );
+    if !streamed_identical {
+        eprintln!("warning: streaming paths diverged from materialized runs — identity broken");
+    }
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -444,6 +660,31 @@ fn main() {
             "      \"events_per_core_sec\": {:.1},\n",
             "      \"queue_restructures\": {}\n",
             "    }}\n",
+            "  }},\n",
+            "  \"streaming_scale\": {{\n",
+            "    \"streamed_identical\": {},\n",
+            "    \"rss_supported\": {},\n",
+            "    \"baseline_rss_kb\": {},\n",
+            "    \"open_loop_fifo\": {{\n",
+            "      \"requests\": {},\n",
+            "      \"rate_req_per_s\": {},\n",
+            "      \"arrival_lookahead\": {},\n",
+            "      \"completed\": {},\n",
+            "      \"wall_secs\": {:.4},\n",
+            "      \"requests_per_core_sec\": {:.1},\n",
+            "      \"queue_restructures\": {},\n",
+            "      \"peak_rss_delta_kb\": {}\n",
+            "    }},\n",
+            "    \"fleet_streaming\": {{\n",
+            "      \"stations\": {},\n",
+            "      \"requests\": {},\n",
+            "      \"rate_req_per_s\": {},\n",
+            "      \"completed\": {},\n",
+            "      \"wall_secs\": {:.4},\n",
+            "      \"requests_per_core_sec\": {:.1},\n",
+            "      \"station_restructures\": {},\n",
+            "      \"peak_rss_delta_kb\": {}\n",
+            "    }}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -501,6 +742,25 @@ fn main() {
         high_cell.requests_per_core_sec,
         high_cell.events_per_core_sec,
         high_cell.restructures,
+        streamed_identical,
+        rss_supported,
+        baseline_kb,
+        stream_requests,
+        STREAM_RATE,
+        STREAM_LOOKAHEAD,
+        open_loop.completed,
+        open_loop_secs,
+        open_loop_rps,
+        open_loop.event_queue_restructures,
+        open_loop_rss_kb,
+        FLEET_STATIONS,
+        fleet_requests,
+        fleet_rate,
+        fleet_report.completed,
+        fleet_secs,
+        fleet_rps,
+        fleet_report.station_restructures,
+        fleet_rss_kb,
     );
     match std::fs::write("BENCH_sched.json", &json) {
         Ok(()) => println!("\n[wrote BENCH_sched.json]"),

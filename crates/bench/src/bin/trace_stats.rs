@@ -5,38 +5,51 @@
 //! the published characteristics each generator was calibrated to.
 //! With a file argument, parses the trace-format file and summarizes it.
 //!
+//! The built-in summaries are computed with [`TraceSummary::from_stream`]
+//! in one pass over the generator stream — no `Vec<TraceRecord>` is ever
+//! built, so `--requests 10000000` characterizes a 10⁷-record trace in
+//! constant memory.
+//!
 //! ```text
-//! trace_stats [FILE] [--capacity SECTORS]
+//! trace_stats [FILE] [--capacity SECTORS] [--requests N]
 //! ```
 
 use mems_device::MemsParams;
 use storage_sim::Workload;
 use storage_trace::{
-    cello_for_capacity, parse_trace, tpcc_for_capacity, RandomWorkload, TraceRecord, TraceSummary,
+    parse_trace, CelloParams, CelloWorkload, RandomWorkload, TpccParams, TpccWorkload, TraceRecord,
+    TraceSummary,
 };
 
-fn random_records(capacity: u64, n: u64) -> Vec<TraceRecord> {
-    let mut w = RandomWorkload::paper(capacity, 500.0, n, 7);
-    let mut out = Vec::new();
-    while let Some(r) = w.next_request() {
-        out.push(TraceRecord {
+/// Adapts any [`Workload`] into the record stream
+/// [`TraceSummary::from_stream`] consumes, one request at a time.
+struct RecordStream<W>(W);
+
+impl<W: Workload> Iterator for RecordStream<W> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.0.next_request().map(|r| TraceRecord {
             arrival: r.arrival.as_secs(),
             lbn: r.lbn,
             sectors: r.sectors,
             kind: r.kind,
-        });
+        })
     }
-    out
+}
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let capacity = args
-        .iter()
-        .position(|a| a == "--capacity")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    let capacity = flag(&args, "--capacity")
         .unwrap_or_else(|| MemsParams::default().geometry().total_sectors());
+    let n = flag(&args, "--requests").unwrap_or(10_000);
 
     if let Some(path) = args.first().filter(|a| !a.starts_with("--")) {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -52,26 +65,50 @@ fn main() {
         return;
     }
 
-    let n = 10_000u64;
-    for (name, records, expectation) in [
+    let summaries: [(&str, TraceSummary, &str); 3] = [
         (
             "random (the paper's synthetic workload, §3)",
-            random_records(capacity, n),
+            TraceSummary::from_stream(
+                RecordStream(RandomWorkload::paper(capacity, 500.0, n, 7)),
+                capacity,
+            ),
             "Poisson arrivals (cv²≈1), 67% reads, ~8.5-sector mean, uniform",
         ),
         (
             "Cello-like (substituting the 1992 HP trace, §4.3)",
-            cello_for_capacity(capacity, n, 7),
+            TraceSummary::from_stream(
+                CelloWorkload::new(
+                    &CelloParams {
+                        capacity,
+                        requests: n,
+                        ..CelloParams::default()
+                    },
+                    7,
+                ),
+                capacity,
+            ),
             "bursty (cv²≫1), write-majority, hot regions, sequential runs",
         ),
         (
             "TPC-C-like (substituting the OLTP trace, §4.3)",
-            tpcc_for_capacity(capacity, n, 7),
+            TraceSummary::from_stream(
+                TpccWorkload::new(
+                    &TpccParams {
+                        capacity,
+                        requests: n,
+                        database_sectors: capacity * 3 / 10,
+                        ..TpccParams::default()
+                    },
+                    7,
+                ),
+                capacity,
+            ),
             "8 KB pages, hot extents (high top-decile), partial footprint",
         ),
-    ] {
+    ];
+    for (name, summary, expectation) in summaries {
         println!("== {name} ==");
         println!("   expected: {expectation}\n");
-        println!("{}\n", TraceSummary::compute(&records, capacity).render());
+        println!("{}\n", summary.render());
     }
 }

@@ -30,12 +30,14 @@
 //! order, so a `shards = 1` fleet reproduces the single-loop driver
 //! bit for bit (asserted by the `fleet_equivalence` integration test).
 
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use storage_sim::{
     Completion, Driver, FaultClock, IoKind, LogHistogram, NoopTracer, ProfScope, Profiler, Request,
     ResponseStats, RunState, Scheduler, ScopeStats, SimReport, SimTime, StorageDevice, Tracer,
-    VecWorkload, Welford,
+    VecWorkload, Welford, Workload,
 };
 
 use crate::volume::{SubIo, VolumeSpec};
@@ -51,6 +53,16 @@ pub struct FleetConfig {
     pub epoch: SimTime,
     /// Leading foreground completions excluded from fleet statistics.
     pub warmup_requests: u64,
+    /// Retain each station's full completion stream in its
+    /// [`SimReport`]. Disable for streaming-scale runs: the per-station
+    /// vectors are the engine's only O(total-requests) memory term, and
+    /// turning them off leaves every aggregate (and the digest) intact.
+    pub keep_station_completions: bool,
+    /// Use constant-memory response statistics (log-histogram
+    /// percentiles) at the fleet level and in every station driver.
+    /// Welford-derived fields — and therefore the digest — are
+    /// bit-identical either way.
+    pub streaming_stats: bool,
 }
 
 impl Default for FleetConfig {
@@ -60,6 +72,8 @@ impl Default for FleetConfig {
             threads: 1,
             epoch: SimTime::from_ms(10.0),
             warmup_requests: 0,
+            keep_station_completions: true,
+            streaming_stats: false,
         }
     }
 }
@@ -199,19 +213,178 @@ impl FleetReport {
 }
 
 /// One station mid-run: its driver plus the session loop state.
-struct Cell<S: Scheduler, D: StorageDevice, T: Tracer> {
-    driver: Driver<VecWorkload, S, D, T>,
+struct Cell<S: Scheduler, D: StorageDevice, T: Tracer, W: Workload> {
+    driver: Driver<StationFeed<W>, S, D, T>,
     state: RunState,
     pending: bool,
 }
 
+/// How many sub-I/Os a streaming refill tries to leave in the asking
+/// station's buffer: larger batches amortize the splitter lock without
+/// affecting simulated results (buffered arrivals enter the event queue
+/// one at a time either way).
+const REFILL_TARGET: usize = 64;
+
+/// The shared router behind a streaming fleet: pulls fleet-level
+/// requests from the workload on demand, routes each through the volume,
+/// and parks the resulting sub-I/Os in per-station ring buffers until
+/// the owning station's feed asks for them.
+///
+/// Per-station sub sequences are exactly the materialized path's: the
+/// router emits subs in fleet order (= arrival order), and a station's
+/// ring preserves it, so a streaming fleet is bit-identical to a
+/// materialized one by construction. Ring occupancy is bounded by
+/// routing skew (how many fleet requests must be pulled before the
+/// asking station sees one of its own) plus the refill batch — constant
+/// for stripe/mirror/parity volumes, where every station appears in
+/// every few requests.
+struct Splitter<W: Workload> {
+    workload: W,
+    volume: VolumeSpec,
+    rings: Vec<VecDeque<Request>>,
+    /// `(expected subs, arrival)` per fleet id, dense in id order, drained
+    /// by the merge loop into the assembler each barrier.
+    meta: Vec<(u32, SimTime)>,
+    /// Sub-I/Os routed to each station so far.
+    routed: Vec<u64>,
+    subs: Vec<SubIo>,
+    next_id: u64,
+    foreground: u64,
+    exhausted: bool,
+}
+
+impl<W: Workload> Splitter<W> {
+    fn new(workload: W, volume: VolumeSpec, stations: usize, foreground: u64) -> Self {
+        Splitter {
+            workload,
+            volume,
+            rings: vec![VecDeque::new(); stations],
+            meta: Vec::new(),
+            routed: vec![0; stations],
+            subs: Vec::new(),
+            next_id: 0,
+            foreground,
+            exhausted: false,
+        }
+    }
+
+    /// Moves everything already ringed for `station` into `local`, then
+    /// keeps routing fleet requests until the batch target is met or the
+    /// workload is exhausted.
+    fn refill(&mut self, station: usize, local: &mut VecDeque<Request>) {
+        debug_assert!(local.is_empty());
+        std::mem::swap(local, &mut self.rings[station]);
+        while local.len() < REFILL_TARGET && !self.exhausted {
+            let Some(req) = self.workload.next_request() else {
+                self.exhausted = true;
+                break;
+            };
+            assert_eq!(
+                req.id, self.next_id,
+                "fleet workload ids must be dense 0..n in order"
+            );
+            assert!(
+                self.next_id < self.foreground,
+                "fleet workload yielded more requests than its len_hint"
+            );
+            self.next_id += 1;
+            self.subs.clear();
+            self.volume.route(&req, &mut self.subs);
+            self.meta.push((self.subs.len() as u32, req.arrival));
+            for sub in &self.subs {
+                self.routed[sub.station] += 1;
+                let r = Request::new(req.id, req.arrival, sub.lbn, sub.sectors, sub.kind);
+                if sub.station == station {
+                    local.push_back(r);
+                } else {
+                    self.rings[sub.station].push_back(r);
+                }
+            }
+        }
+    }
+
+    fn take_meta(&mut self) -> Vec<(u32, SimTime)> {
+        std::mem::take(&mut self.meta)
+    }
+}
+
+/// A station driver's request source: either its fully materialized
+/// routed workload, or a buffered tap on the shared [`Splitter`] merged
+/// with the station's (materialized, small) background stream.
+enum StationFeed<W: Workload> {
+    /// Materialized per-station workload (foreground and background
+    /// merged and sorted up front).
+    Ready(VecWorkload),
+    /// Streaming tap: foreground subs pulled from the splitter on dry,
+    /// merged with the background queue by arrival (foreground wins
+    /// ties, matching the materialized path's stable sort).
+    Routed {
+        station: usize,
+        local: VecDeque<Request>,
+        background: VecDeque<Request>,
+        splitter: Arc<Mutex<Splitter<W>>>,
+    },
+}
+
+impl<W: Workload> Workload for StationFeed<W> {
+    fn next_request(&mut self) -> Option<Request> {
+        match self {
+            StationFeed::Ready(v) => v.next_request(),
+            StationFeed::Routed {
+                station,
+                local,
+                background,
+                splitter,
+            } => {
+                if local.is_empty() {
+                    splitter
+                        .lock()
+                        .expect("splitter lock poisoned")
+                        .refill(*station, local);
+                }
+                match (local.front(), background.front()) {
+                    (Some(f), Some(b)) if b.arrival < f.arrival => background.pop_front(),
+                    (Some(_), _) => local.pop_front(),
+                    (None, Some(_)) => background.pop_front(),
+                    (None, None) => None,
+                }
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        match self {
+            StationFeed::Ready(v) => v.len_hint(),
+            // Routed counts are discovered as the run streams; `None` is
+            // always safe for the driver's (tiny, chain-bounded) event
+            // queue pre-sizing, so restructures stay at zero either way.
+            StationFeed::Routed { .. } => None,
+        }
+    }
+}
+
+/// In-flight assembly state of one foreground fleet request.
+struct Slot {
+    remaining: u32,
+    arrival: SimTime,
+    first_start: SimTime,
+    last_end: SimTime,
+}
+
 /// Reassembles per-station sub-I/O completions into fleet-level request
 /// completions, in the deterministic merged order.
+///
+/// Foreground requests live in a sliding window keyed by dense fleet id:
+/// metadata is appended in id order (all at once for a materialized
+/// fleet, barrier by barrier for a streaming one) and fully assembled
+/// slots are reclaimed from the front, so memory tracks the number of
+/// requests in flight, not the run length. Background requests route to
+/// exactly one sub, so they bypass the window entirely.
 struct Assembler {
-    remaining: Vec<u32>,
-    arrival: Vec<SimTime>,
-    first_start: Vec<SimTime>,
-    last_end: Vec<SimTime>,
+    foreground: u64,
+    bg_arrivals: Vec<SimTime>,
+    base: u64,
+    slots: VecDeque<Slot>,
 }
 
 /// A fully assembled fleet request: every routed sub-I/O has completed.
@@ -223,55 +396,109 @@ struct FleetCompletion {
 }
 
 impl Assembler {
-    fn new(expected: Vec<u32>, arrival: Vec<SimTime>) -> Self {
-        let n = expected.len();
+    fn new(foreground: u64, bg_arrivals: Vec<SimTime>) -> Self {
         Assembler {
+            foreground,
+            bg_arrivals,
+            base: 0,
+            slots: VecDeque::new(),
+        }
+    }
+
+    /// Registers the next fleet request (dense id order): its routed sub
+    /// count and arrival time.
+    fn push_meta(&mut self, expected: u32, arrival: SimTime) {
+        debug_assert!(expected > 0, "routing always produces at least one sub");
+        self.slots.push_back(Slot {
             remaining: expected,
             arrival,
-            first_start: vec![SimTime::from_secs(f64::INFINITY); n],
-            last_end: vec![SimTime::ZERO; n],
-        }
+            first_start: SimTime::from_secs(f64::INFINITY),
+            last_end: SimTime::ZERO,
+        });
     }
 
     /// Feeds one sub-I/O completion; returns the assembled fleet
     /// completion when it was the request's last outstanding sub.
     fn feed(&mut self, c: &Completion) -> Option<FleetCompletion> {
-        let id = c.request.id as usize;
-        self.first_start[id] = self.first_start[id].min(c.start_service);
-        self.last_end[id] = self.last_end[id].max(c.completion);
-        self.remaining[id] -= 1;
-        if self.remaining[id] == 0 {
-            Some(FleetCompletion {
-                id: c.request.id,
-                arrival: self.arrival[id],
-                first_start: self.first_start[id],
-                end: self.last_end[id],
-            })
+        let id = c.request.id;
+        if id >= self.foreground {
+            // Background: always a single sub, no assembly needed.
+            return Some(FleetCompletion {
+                id,
+                arrival: self.bg_arrivals[(id - self.foreground) as usize],
+                first_start: c.start_service,
+                end: c.completion,
+            });
+        }
+        let idx = (id - self.base) as usize;
+        let slot = &mut self.slots[idx];
+        slot.first_start = slot.first_start.min(c.start_service);
+        slot.last_end = slot.last_end.max(c.completion);
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            let fc = FleetCompletion {
+                id,
+                arrival: slot.arrival,
+                first_start: slot.first_start,
+                end: slot.last_end,
+            };
+            // Reclaim the assembled prefix of the window.
+            while self.slots.front().is_some_and(|s| s.remaining == 0) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+            Some(fc)
         } else {
             None
         }
     }
 }
 
+/// Where a fleet's foreground requests come from.
+enum FleetSource<W: Workload> {
+    /// Routed up front into per-station vectors ([`FleetEngine::new`]).
+    Materialized {
+        workloads: Vec<Vec<Request>>,
+        expected: Vec<u32>,
+        arrivals: Vec<SimTime>,
+    },
+    /// Routed on demand through a shared [`Splitter`]
+    /// ([`FleetEngine::streaming`]). Background requests stay
+    /// materialized per station (they are few and explicit).
+    Streaming {
+        workload: W,
+        volume: VolumeSpec,
+        background: Vec<Vec<Request>>,
+    },
+}
+
 /// A sharded multi-station fleet simulation.
 ///
 /// Build one with [`FleetEngine::new`] (foreground requests routed
-/// through a [`VolumeSpec`]), optionally attach per-station fault clocks
-/// and background streams, then [`FleetEngine::run`] it. To observe the
-/// run, attach per-station tracers with
-/// [`FleetEngine::with_station_tracers`] and use
+/// through a [`VolumeSpec`] up front) or [`FleetEngine::streaming`]
+/// (requests pulled incrementally from any [`Workload`] — constant
+/// memory in the run length, bit-identical results), optionally attach
+/// per-station fault clocks and background streams, then
+/// [`FleetEngine::run`] it. To observe the run, attach per-station
+/// tracers with [`FleetEngine::with_station_tracers`] and use
 /// [`FleetEngine::run_instrumented`], which hands the tracers back next
 /// to the report. Tracers observe; they never steer — an instrumented
 /// run's [`FleetReport`] is bit-identical to an untraced one.
-pub struct FleetEngine<S: Scheduler, D: StorageDevice, T: Tracer = NoopTracer> {
+pub struct FleetEngine<
+    S: Scheduler,
+    D: StorageDevice,
+    T: Tracer = NoopTracer,
+    W: Workload = VecWorkload,
+> {
     devices: Vec<D>,
     schedulers: Vec<S>,
-    workloads: Vec<Vec<Request>>,
     faults: Vec<FaultClock>,
     tracers: Vec<T>,
-    expected: Vec<u32>,
-    arrivals: Vec<SimTime>,
+    source: FleetSource<W>,
+    /// Foreground request count; background ids follow this block.
     foreground: u64,
+    /// Arrival times of background requests, indexed by `id - foreground`.
+    bg_arrivals: Vec<SimTime>,
     config: FleetConfig,
 }
 
@@ -370,6 +597,20 @@ impl FleetProfile {
     }
 }
 
+/// Validates shared fleet construction invariants.
+fn check_fleet_setup(stations: usize, volume: &VolumeSpec, config: &FleetConfig) {
+    assert!(stations > 0, "fleet needs at least one device");
+    assert!(
+        volume.max_station() < stations,
+        "volume references station {} but the fleet has {} devices",
+        volume.max_station(),
+        stations
+    );
+    assert!(config.shards >= 1, "need at least one shard");
+    assert!(config.threads >= 1, "need at least one worker thread");
+    assert!(config.epoch > SimTime::ZERO, "epoch must be positive");
+}
+
 impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
     /// Routes `requests` (fleet-level, addressed in the volume's LBN
     /// space, ids dense from 0 in arrival order) through `volume` onto
@@ -391,16 +632,7 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
         requests: &[Request],
         config: FleetConfig,
     ) -> Self {
-        assert!(!devices.is_empty(), "fleet needs at least one device");
-        assert!(
-            volume.max_station() < devices.len(),
-            "volume references station {} but the fleet has {} devices",
-            volume.max_station(),
-            devices.len()
-        );
-        assert!(config.shards >= 1, "need at least one shard");
-        assert!(config.threads >= 1, "need at least one worker thread");
-        assert!(config.epoch > SimTime::ZERO, "epoch must be positive");
+        check_fleet_setup(devices.len(), volume, &config);
 
         let n = devices.len();
         let schedulers = (0..n).map(&mut make_scheduler).collect();
@@ -431,18 +663,68 @@ impl<S: Scheduler, D: StorageDevice> FleetEngine<S, D> {
         FleetEngine {
             devices,
             schedulers,
-            workloads,
             faults: (0..n).map(|_| FaultClock::empty()).collect(),
             tracers: (0..n).map(|_| NoopTracer).collect(),
-            expected,
-            arrivals,
+            source: FleetSource::Materialized {
+                workloads,
+                expected,
+                arrivals,
+            },
             foreground: requests.len() as u64,
+            bg_arrivals: Vec::new(),
             config,
         }
     }
 }
 
-impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
+impl<S: Scheduler, D: StorageDevice, W: Workload> FleetEngine<S, D, NoopTracer, W> {
+    /// Builds a fleet whose foreground requests are pulled incrementally
+    /// from `workload` and routed through `volume` on demand — nothing is
+    /// materialized, so memory is constant in the run length while the
+    /// [`FleetReport`] stays bit-identical to [`FleetEngine::new`] over
+    /// the same request sequence, at every shard/thread split (gated by
+    /// the `streaming_equivalence` integration tests).
+    ///
+    /// The workload must yield requests with ids dense from 0 in arrival
+    /// order (every generator in `storage-trace` does) and must know its
+    /// exact length: the foreground block size anchors background id
+    /// allocation and the foreground/background billing split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload.len_hint()` is `None`, plus the same setup
+    /// checks as [`FleetEngine::new`].
+    pub fn streaming(
+        devices: Vec<D>,
+        mut make_scheduler: impl FnMut(usize) -> S,
+        volume: VolumeSpec,
+        workload: W,
+        config: FleetConfig,
+    ) -> Self {
+        check_fleet_setup(devices.len(), &volume, &config);
+        let foreground = workload
+            .len_hint()
+            .expect("a streaming fleet workload must have an exact len_hint");
+
+        let n = devices.len();
+        FleetEngine {
+            schedulers: (0..n).map(&mut make_scheduler).collect(),
+            faults: (0..n).map(|_| FaultClock::empty()).collect(),
+            tracers: (0..n).map(|_| NoopTracer).collect(),
+            source: FleetSource::Streaming {
+                workload,
+                volume,
+                background: vec![Vec::new(); n],
+            },
+            foreground,
+            bg_arrivals: Vec::new(),
+            config,
+            devices,
+        }
+    }
+}
+
+impl<S: Scheduler, D: StorageDevice, T: Tracer, W: Workload> FleetEngine<S, D, T, W> {
     /// Attaches one tracer per station (telemetry, ring, pairs, …),
     /// rebinding the engine's tracer type. `make` is called once per
     /// station, in station order. Tracers are observation-only: the
@@ -451,17 +733,16 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
     pub fn with_station_tracers<T2: Tracer>(
         self,
         mut make: impl FnMut(usize) -> T2,
-    ) -> FleetEngine<S, D, T2> {
+    ) -> FleetEngine<S, D, T2, W> {
         let n = self.devices.len();
         FleetEngine {
             devices: self.devices,
             schedulers: self.schedulers,
-            workloads: self.workloads,
             faults: self.faults,
             tracers: (0..n).map(&mut make).collect(),
-            expected: self.expected,
-            arrivals: self.arrivals,
+            source: self.source,
             foreground: self.foreground,
+            bg_arrivals: self.bg_arrivals,
             config: self.config,
         }
     }
@@ -472,8 +753,18 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
     }
 
     /// Sub-I/Os routed to station `station`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a streaming fleet, where routed counts are discovered
+    /// as the run streams rather than known up front.
     pub fn routed_len(&self, station: usize) -> usize {
-        self.workloads[station].len()
+        match &self.source {
+            FleetSource::Materialized { workloads, .. } => workloads[station].len(),
+            FleetSource::Streaming { .. } => {
+                panic!("routed counts of a streaming fleet are only known after the run")
+            }
+        }
     }
 
     /// Attaches a fault clock to one station's device.
@@ -493,10 +784,13 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
         sectors: u32,
         kind: IoKind,
     ) -> u64 {
-        let id = self.expected.len() as u64;
-        self.expected.push(1);
-        self.arrivals.push(at);
-        self.workloads[station].push(Request::new(id, at, lbn, sectors, kind));
+        let id = self.foreground + self.bg_arrivals.len() as u64;
+        self.bg_arrivals.push(at);
+        let req = Request::new(id, at, lbn, sectors, kind);
+        match &mut self.source {
+            FleetSource::Materialized { workloads, .. } => workloads[station].push(req),
+            FleetSource::Streaming { background, .. } => background[station].push(req),
+        }
         id
     }
 
@@ -509,6 +803,7 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
         S: Send,
         D: Send,
         T: Send,
+        W: Send,
     {
         self.run_instrumented().report
     }
@@ -525,29 +820,75 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
         S: Send,
         D: Send,
         T: Send,
+        W: Send,
     {
         let n = self.devices.len();
         let config = self.config;
         let mut profile = FleetProfile::new(config.shards.min(n).max(1));
 
-        // Background pushes may land before already-queued foreground
-        // subs; per-station order must be by arrival. The sort is stable,
-        // so equal-arrival subs keep insertion (fleet) order.
-        for w in &mut self.workloads {
-            w.sort_by_key(|r| r.arrival);
-        }
+        let mut assembler = Assembler::new(self.foreground, std::mem::take(&mut self.bg_arrivals));
+        let mut splitter: Option<Arc<Mutex<Splitter<W>>>> = None;
+        let feeds: Vec<StationFeed<W>> = match self.source {
+            FleetSource::Materialized {
+                mut workloads,
+                expected,
+                arrivals,
+            } => {
+                // Background pushes may land before already-queued
+                // foreground subs; per-station order must be by arrival.
+                // The sort is stable, so equal-arrival subs keep
+                // insertion (fleet) order.
+                for w in &mut workloads {
+                    w.sort_by_key(|r| r.arrival);
+                }
+                for (e, a) in expected.into_iter().zip(arrivals) {
+                    assembler.push_meta(e, a);
+                }
+                workloads
+                    .into_iter()
+                    .map(|w| StationFeed::Ready(VecWorkload::new(w)))
+                    .collect()
+            }
+            FleetSource::Streaming {
+                workload,
+                volume,
+                mut background,
+            } => {
+                for b in &mut background {
+                    b.sort_by_key(|r| r.arrival);
+                }
+                let shared = Arc::new(Mutex::new(Splitter::new(
+                    workload,
+                    volume,
+                    n,
+                    self.foreground,
+                )));
+                splitter = Some(Arc::clone(&shared));
+                background
+                    .into_iter()
+                    .enumerate()
+                    .map(|(station, bg)| StationFeed::Routed {
+                        station,
+                        local: VecDeque::new(),
+                        background: VecDeque::from(bg),
+                        splitter: Arc::clone(&shared),
+                    })
+                    .collect()
+            }
+        };
 
-        let mut cells: Vec<Cell<S, D, T>> = Vec::with_capacity(n);
-        for (((device, scheduler), tracer), (workload, faults)) in self
+        let mut cells: Vec<Cell<S, D, T, W>> = Vec::with_capacity(n);
+        for (((device, scheduler), tracer), (feed, faults)) in self
             .devices
             .into_iter()
             .zip(self.schedulers)
             .zip(self.tracers)
-            .zip(self.workloads.into_iter().zip(self.faults))
+            .zip(feeds.into_iter().zip(self.faults))
         {
-            let mut driver = Driver::new(VecWorkload::new(workload), scheduler, device)
+            let mut driver = Driver::new(feed, scheduler, device)
                 .with_tracer(tracer)
                 .record_completions(true)
+                .streaming_stats(config.streaming_stats)
                 .with_faults(faults);
             let state = driver.begin();
             let pending = state.pending_events() > 0;
@@ -557,14 +898,16 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
                 pending,
             });
         }
-
-        let mut assembler = Assembler::new(self.expected, self.arrivals);
         let mut report = FleetReport {
             completed: 0,
             background_completed: 0,
             subs_completed: 0,
             makespan: SimTime::ZERO,
-            response: ResponseStats::new(),
+            response: if config.streaming_stats {
+                ResponseStats::streaming()
+            } else {
+                ResponseStats::new()
+            },
             queue_time: Welford::new(),
             service_time: Welford::new(),
             background_response: Welford::new(),
@@ -604,6 +947,18 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
             profile.barriers += 1;
             let m0 = T::PROFILE.then(Instant::now);
 
+            // Streaming fleets discover request metadata as stations pull
+            // from the splitter; everything routed during this barrier
+            // interval is registered before its completions are fed (a
+            // sub completes only after it was routed, and routing happens
+            // strictly before the barrier's drain below).
+            if let Some(shared) = &splitter {
+                let metas = shared.lock().expect("splitter lock poisoned").take_meta();
+                for (e, a) in metas {
+                    assembler.push_meta(e, a);
+                }
+            }
+
             // Drain in station order, then impose the global order:
             // (completion time, station, per-station drain order). The
             // sort is stable, so the third key is implicit.
@@ -617,7 +972,9 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
 
             for &(c, station) in batch.iter() {
                 report.subs_completed += 1;
-                station_completions[station].push(c);
+                if config.keep_station_completions {
+                    station_completions[station].push(c);
+                }
                 if let Some(fc) = assembler.feed(&c) {
                     report.makespan = report.makespan.max(fc.end);
                     let response = (fc.end - fc.arrival).as_secs();
@@ -659,7 +1016,7 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
             report.station_restructures += station.event_queue_restructures;
             report.max_station_queue_depth =
                 report.max_station_queue_depth.max(station.max_queue_depth);
-            station.completions = Some(completions);
+            station.completions = config.keep_station_completions.then_some(completions);
             report.stations.push(station);
             let (tracer, device) = driver.into_observables();
             tracers.push(tracer);
@@ -685,10 +1042,15 @@ impl<S: Scheduler, D: StorageDevice, T: Tracer> FleetEngine<S, D, T> {
 /// nothing back into simulation state.
 /// One shard's unit of work: its contiguous cell slice plus the
 /// optional wall-clock accumulator slot (profiled runs only).
-type ShardJob<'a, S, D, T> = (&'a mut [Cell<S, D, T>], Option<&'a mut u64>);
+type ShardJob<'a, S, D, T, W> = (&'a mut [Cell<S, D, T, W>], Option<&'a mut u64>);
 
-fn advance_shards<S: Scheduler + Send, D: StorageDevice + Send, T: Tracer + Send>(
-    cells: &mut [Cell<S, D, T>],
+fn advance_shards<
+    S: Scheduler + Send,
+    D: StorageDevice + Send,
+    T: Tracer + Send,
+    W: Workload + Send,
+>(
+    cells: &mut [Cell<S, D, T, W>],
     barrier: SimTime,
     shards: usize,
     threads: usize,
@@ -696,7 +1058,7 @@ fn advance_shards<S: Scheduler + Send, D: StorageDevice + Send, T: Tracer + Send
 ) {
     let n = cells.len();
     let shards = shards.min(n).max(1);
-    let mut slices: Vec<&mut [Cell<S, D, T>]> = Vec::with_capacity(shards);
+    let mut slices: Vec<&mut [Cell<S, D, T, W>]> = Vec::with_capacity(shards);
     let mut rest = cells;
     let mut start = 0;
     for s in 0..shards {
@@ -710,10 +1072,10 @@ fn advance_shards<S: Scheduler + Send, D: StorageDevice + Send, T: Tracer + Send
         Some(slots) => slots.iter_mut().map(Some).collect(),
         None => (0..shards).map(|_| None).collect(),
     };
-    let mut jobs: Vec<ShardJob<'_, S, D, T>> =
+    let mut jobs: Vec<ShardJob<'_, S, D, T, W>> =
         slices.into_iter().zip(nanos_slots.drain(..)).collect();
 
-    let advance = |(shard, slot): ShardJob<'_, S, D, T>| {
+    let advance = |(shard, slot): ShardJob<'_, S, D, T, W>| {
         let t0 = slot.is_some().then(Instant::now);
         for cell in shard.iter_mut() {
             if cell.pending {
@@ -731,7 +1093,7 @@ fn advance_shards<S: Scheduler + Send, D: StorageDevice + Send, T: Tracer + Send
         }
     } else {
         let workers = threads.min(shards);
-        let mut queues: Vec<Vec<ShardJob<'_, S, D, T>>> =
+        let mut queues: Vec<Vec<ShardJob<'_, S, D, T, W>>> =
             (0..workers).map(|_| Vec::new()).collect();
         for (i, job) in jobs.drain(..).enumerate() {
             queues[i % workers].push(job);

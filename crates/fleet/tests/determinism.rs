@@ -45,6 +45,7 @@ fn striped_cell(shards: usize, threads: usize, epoch_ms: f64) -> FleetReport {
             threads,
             epoch: SimTime::from_ms(epoch_ms),
             warmup_requests: 50,
+            ..FleetConfig::default()
         },
     );
     engine.run()
@@ -168,6 +169,7 @@ fn rebuild_cell(shards: usize, threads: usize) -> FleetReport {
             threads,
             epoch: SimTime::from_ms(20.0),
             warmup_requests: 0,
+            ..FleetConfig::default()
         },
     );
     engine.set_station_faults(

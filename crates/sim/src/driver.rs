@@ -16,12 +16,14 @@
 //!   slot handles through event payloads by default ([`SlabStore`]), or
 //!   moving the values themselves via [`crate::MoveStore`].
 
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::time::Instant;
 
 use crate::device::{ServiceBreakdown, StorageDevice};
 use crate::event::{CalendarQueuePolicy, Event, QueuePolicy, SimQueue};
 use crate::fault::{FaultClock, FaultKind};
+use crate::overload::OverloadPolicy;
 use crate::profile::ProfScope;
 use crate::request::{Completion, Request};
 use crate::sched::{SchedCounters, Scheduler};
@@ -54,6 +56,12 @@ pub struct SimReport {
     pub max_queue_depth: usize,
     /// Fault events delivered to the device during the run.
     pub fault_events: u64,
+    /// Arrivals rejected at admission by the overload policy's shed
+    /// watermark; always zero without a policy.
+    pub shed: u64,
+    /// Queued requests abandoned by the pick loop after aging past the
+    /// overload policy's queue timeout; always zero without a policy.
+    pub timed_out: u64,
     /// Times the event queue had to restructure mid-run (heap reallocation
     /// or calendar rebuild); zero means the driver's pre-sizing held.
     pub event_queue_restructures: u64,
@@ -103,7 +111,19 @@ pub struct RunState<Q: QueuePolicy = CalendarQueuePolicy, R: RequestStore = Slab
     completed_total: u64,
     depth_integral: f64,
     last_event_time: SimTime,
+    /// Arrival time of the last request pulled from the workload into the
+    /// look-ahead buffer (ordering is asserted at pull time; the buffer is
+    /// FIFO, so popped arrivals inherit the guarantee).
     last_arrival: SimTime,
+    /// Bounded look-ahead buffer between the workload and the arrival
+    /// chain: refilled in batches of the driver's look-ahead size whenever
+    /// it runs dry. Exactly one buffered arrival is ever in the event
+    /// queue, so buffer size never changes event order — only how often
+    /// the workload is consulted.
+    lookahead_buf: VecDeque<Request>,
+    /// Whether the overload policy is currently shedding arrivals
+    /// (hysteresis state between the high and low watermarks).
+    shedding: bool,
     run_start: Option<Instant>,
     event_count: u64,
 }
@@ -202,6 +222,9 @@ pub struct Driver<W, S, D, T = NoopTracer, Q = CalendarQueuePolicy, R = SlabStor
     faults: FaultClock,
     warmup_requests: u64,
     record_completions: bool,
+    overload: Option<OverloadPolicy>,
+    lookahead: usize,
+    streaming_stats: bool,
     _queue: PhantomData<Q>,
 }
 
@@ -218,6 +241,9 @@ impl<W: Workload, S: Scheduler, D: StorageDevice> Driver<W, S, D> {
             faults: FaultClock::empty(),
             warmup_requests: 0,
             record_completions: false,
+            overload: None,
+            lookahead: 1,
+            streaming_stats: false,
             _queue: PhantomData,
         }
     }
@@ -239,6 +265,9 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             faults: self.faults,
             warmup_requests: self.warmup_requests,
             record_completions: self.record_completions,
+            overload: self.overload,
+            lookahead: self.lookahead,
+            streaming_stats: self.streaming_stats,
             _queue: PhantomData,
         }
     }
@@ -256,6 +285,9 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             faults: self.faults,
             warmup_requests: self.warmup_requests,
             record_completions: self.record_completions,
+            overload: self.overload,
+            lookahead: self.lookahead,
+            streaming_stats: self.streaming_stats,
             _queue: PhantomData,
         }
     }
@@ -273,6 +305,9 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             faults: self.faults,
             warmup_requests: self.warmup_requests,
             record_completions: self.record_completions,
+            overload: self.overload,
+            lookahead: self.lookahead,
+            streaming_stats: self.streaming_stats,
             _queue: PhantomData,
         }
     }
@@ -295,6 +330,42 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
     /// Retains every [`Completion`] in the report.
     pub fn record_completions(mut self, yes: bool) -> Self {
         self.record_completions = yes;
+        self
+    }
+
+    /// Attaches an overload policy: arrivals are shed at the queue-depth
+    /// watermark (with hysteresis) and queued requests older than the
+    /// policy's timeout are abandoned at pick time. Both outcomes are
+    /// billed explicitly in the report (`shed` / `timed_out`); no policy
+    /// (the default) takes none of these branches and is bit-identical to
+    /// the pre-overload driver.
+    pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = Some(policy);
+        self
+    }
+
+    /// Sets the arrival look-ahead: how many requests are pulled from the
+    /// workload per refill of the internal buffer. Exactly one arrival is
+    /// ever in the event queue regardless, so this never changes simulated
+    /// results — only the batching of workload pulls (larger values
+    /// amortize per-pull overhead for streaming generators). Default 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_arrival_lookahead(mut self, n: usize) -> Self {
+        assert!(n > 0, "look-ahead must buffer at least one arrival");
+        self.lookahead = n;
+        self
+    }
+
+    /// Selects constant-memory response statistics
+    /// ([`ResponseStats::streaming`]): percentiles come from a log-spaced
+    /// histogram instead of a retained per-sample vector. Welford-derived
+    /// report fields (mean, deviation, max, count) are bit-identical
+    /// either way.
+    pub fn streaming_stats(mut self, yes: bool) -> Self {
+        self.streaming_stats = yes;
         self
     }
 
@@ -413,7 +484,11 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
         let report = SimReport {
             completed: 0,
             makespan: SimTime::ZERO,
-            response: ResponseStats::new(),
+            response: if self.streaming_stats {
+                ResponseStats::streaming()
+            } else {
+                ResponseStats::new()
+            },
             queue_time: Welford::new(),
             service_time: Welford::new(),
             breakdown_sum: ServiceBreakdown::default(),
@@ -421,6 +496,8 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             mean_queue_depth: 0.0,
             max_queue_depth: 0,
             fault_events: 0,
+            shed: 0,
+            timed_out: 0,
             event_queue_restructures: 0,
             completions: if self.record_completions {
                 Some(Vec::new())
@@ -429,11 +506,17 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             },
         };
 
+        let mut lookahead_buf = VecDeque::with_capacity(self.lookahead);
         let mut last_arrival = SimTime::ZERO;
+        Self::refill_lookahead(
+            &mut self.workload,
+            &mut lookahead_buf,
+            self.lookahead,
+            &mut last_arrival,
+        );
         let mut primed = false;
-        if let Some(first) = self.workload.next_request() {
+        if let Some(first) = lookahead_buf.pop_front() {
             let at = first.arrival;
-            last_arrival = at;
             let handle = self.park_arrival(first);
             push_timed(&mut self.tracer, &mut events, at, Ev::Arrival(handle));
             primed = true;
@@ -464,6 +547,8 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             depth_integral: 0.0,
             last_event_time: SimTime::ZERO,
             last_arrival,
+            lookahead_buf,
+            shedding: false,
             // Wall-clock self-profiling: reads the host clock but never
             // feeds anything back into the simulation, so simulated
             // results are identical with or without it.
@@ -474,6 +559,44 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             },
             event_count: 0,
         }
+    }
+
+    /// Refills the look-ahead buffer from the workload, pulling up to
+    /// `lookahead` requests and asserting arrival-time order as they are
+    /// buffered. Free function over the split borrows so callers holding
+    /// `RunState` fields stay disjoint from the workload.
+    fn refill_lookahead(
+        workload: &mut W,
+        buf: &mut VecDeque<Request>,
+        lookahead: usize,
+        last_arrival: &mut SimTime,
+    ) {
+        while buf.len() < lookahead {
+            let Some(req) = workload.next_request() else {
+                break;
+            };
+            assert!(
+                req.arrival >= *last_arrival,
+                "workload arrival times must be non-decreasing"
+            );
+            *last_arrival = req.arrival;
+            buf.push_back(req);
+        }
+    }
+
+    /// Pops the next buffered arrival, refilling the buffer from the
+    /// workload when it has run dry. `None` means the workload is
+    /// exhausted and the arrival chain ends.
+    fn pull_arrival(&mut self, state: &mut RunState<Q, R>) -> Option<Request> {
+        if state.lookahead_buf.is_empty() {
+            Self::refill_lookahead(
+                &mut self.workload,
+                &mut state.lookahead_buf,
+                self.lookahead,
+                &mut state.last_arrival,
+            );
+        }
+        state.lookahead_buf.pop_front()
     }
 
     /// Processes every event scheduled at or before `limit`, in exactly the
@@ -513,18 +636,36 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
             match event.payload {
                 Ev::Arrival(handle) => {
                     let req = self.redeem_arrival(handle);
-                    self.scheduler.enqueue(req);
-                    if T::ENABLED {
-                        self.tracer.on_arrival(&req, now, self.scheduler.len());
+                    // Overload admission: update the hysteresis state
+                    // against the pre-enqueue depth, then shed or admit.
+                    // Shed arrivals never reach the scheduler; they are
+                    // billed in the report and the arrival chain continues.
+                    let mut admit = true;
+                    if let Some(policy) = self.overload {
+                        let depth = self.scheduler.len();
+                        if state.shedding && depth < policy.resume_low {
+                            state.shedding = false;
+                        }
+                        if !state.shedding && depth >= policy.shed_high {
+                            state.shedding = true;
+                        }
+                        if state.shedding {
+                            admit = false;
+                            state.report.shed += 1;
+                            if T::ENABLED {
+                                self.tracer.on_shed(&req, now, depth);
+                            }
+                        }
                     }
-                    state.report.max_queue_depth =
-                        state.report.max_queue_depth.max(self.scheduler.len());
-                    if let Some(next) = self.workload.next_request() {
-                        assert!(
-                            next.arrival >= state.last_arrival,
-                            "workload arrival times must be non-decreasing"
-                        );
-                        state.last_arrival = next.arrival;
+                    if admit {
+                        self.scheduler.enqueue(req);
+                        if T::ENABLED {
+                            self.tracer.on_arrival(&req, now, self.scheduler.len());
+                        }
+                        state.report.max_queue_depth =
+                            state.report.max_queue_depth.max(self.scheduler.len());
+                    }
+                    if let Some(next) = self.pull_arrival(state) {
                         let at = next.arrival;
                         let handle = self.park_arrival(next);
                         push_timed(&mut self.tracer, &mut state.events, at, Ev::Arrival(handle));
@@ -625,16 +766,39 @@ impl<W: Workload, S: Scheduler, D: StorageDevice, T: Tracer, Q: QueuePolicy, R: 
         } else {
             SchedCounters::default()
         };
-        let pick_t0 = if T::PROFILE {
-            Some(Instant::now())
-        } else {
-            None
+        // Election loop: with a queue-timeout policy, a pick whose queue
+        // time already exceeds the deadline is billed as timed out and the
+        // scheduler elects again; the device services only in-deadline
+        // work. Without a policy the loop runs exactly once, preserving
+        // the pre-overload pick path.
+        let timeout = self.overload.and_then(|p| p.queue_timeout);
+        let picked = loop {
+            let pick_t0 = if T::PROFILE {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            let picked = self.scheduler.pick(&self.device, now);
+            if let Some(t0) = pick_t0 {
+                self.tracer
+                    .on_scope(ProfScope::SchedPick, t0.elapsed().as_nanos() as u64);
+            }
+            match picked {
+                Some(req) => {
+                    if let Some(deadline) = timeout {
+                        if now - req.arrival > deadline {
+                            report.timed_out += 1;
+                            if T::ENABLED {
+                                self.tracer.on_timeout(&req, now);
+                            }
+                            continue;
+                        }
+                    }
+                    break Some(req);
+                }
+                None => break None,
+            }
         };
-        let picked = self.scheduler.pick(&self.device, now);
-        if let Some(t0) = pick_t0 {
-            self.tracer
-                .on_scope(ProfScope::SchedPick, t0.elapsed().as_nanos() as u64);
-        }
         match picked {
             Some(req) => {
                 if T::ENABLED {
@@ -928,6 +1092,108 @@ mod tests {
             assert_eq!(x.start_service, y.start_service);
             assert_eq!(x.completion, y.completion);
         }
+    }
+
+    /// Digest of the observable report surface for identity assertions.
+    fn digest(r: &SimReport) -> (u64, u64, u64, u64, u64, u64, usize, u64, u64) {
+        (
+            r.completed,
+            r.makespan.as_secs().to_bits(),
+            r.response.mean().to_bits(),
+            r.queue_time.mean().to_bits(),
+            r.busy_secs.to_bits(),
+            r.shed,
+            r.max_queue_depth,
+            r.timed_out,
+            r.event_queue_restructures,
+        )
+    }
+
+    fn burst(n: u64) -> Vec<Request> {
+        // All arrivals in the first 2 ms against a 1 ms device: the queue
+        // builds to ~n, then drains.
+        (0..n)
+            .map(|i| req(i, i as f64 * 2.0 / n as f64, i * 8))
+            .collect()
+    }
+
+    #[test]
+    fn arrival_lookahead_is_bit_identical() {
+        let reqs = burst(300);
+        let base = Driver::new(
+            VecWorkload::new(reqs.clone()),
+            FifoScheduler::new(),
+            ConstantDevice::new(10_000, 1e-3),
+        )
+        .run();
+        for k in [2usize, 7, 300, 4096] {
+            let buffered = Driver::new(
+                VecWorkload::new(reqs.clone()),
+                FifoScheduler::new(),
+                ConstantDevice::new(10_000, 1e-3),
+            )
+            .with_arrival_lookahead(k)
+            .run();
+            assert_eq!(digest(&base), digest(&buffered), "lookahead {k}");
+        }
+    }
+
+    #[test]
+    fn untripped_overload_policy_is_bit_identical() {
+        let reqs = burst(300);
+        let plain = Driver::new(
+            VecWorkload::new(reqs.clone()),
+            FifoScheduler::new(),
+            ConstantDevice::new(10_000, 1e-3),
+        )
+        .run();
+        let policed = Driver::new(
+            VecWorkload::new(reqs),
+            FifoScheduler::new(),
+            ConstantDevice::new(10_000, 1e-3),
+        )
+        .with_overload(OverloadPolicy::watermarks(usize::MAX, 0))
+        .run();
+        assert_eq!(plain.shed, 0);
+        assert_eq!(policed.shed, 0);
+        assert_eq!(digest(&plain), digest(&policed));
+    }
+
+    #[test]
+    fn shed_watermark_caps_depth_and_bills_sheds() {
+        let reqs = burst(400);
+        let r = Driver::new(
+            VecWorkload::new(reqs),
+            FifoScheduler::new(),
+            ConstantDevice::new(10_000, 1e-3),
+        )
+        .with_overload(OverloadPolicy::watermarks(16, 4))
+        .run();
+        assert!(r.shed > 0, "a 400-deep burst must trip a 16-high watermark");
+        assert_eq!(r.completed + r.shed, 400, "every arrival is billed");
+        // Depth at admission never exceeds the high watermark, so the
+        // enqueued depth is bounded by it.
+        assert!(r.max_queue_depth <= 16, "depth {}", r.max_queue_depth);
+    }
+
+    #[test]
+    fn queue_timeout_expires_aged_requests() {
+        let reqs = burst(100);
+        let r = Driver::new(
+            VecWorkload::new(reqs),
+            FifoScheduler::new(),
+            ConstantDevice::new(10_000, 1e-3),
+        )
+        .with_overload(OverloadPolicy::timeout_only(SimTime::from_ms(10.0)))
+        .run();
+        // The backlog reaches ~98 ms of queue time; most of the burst ages
+        // past the 10 ms deadline.
+        assert!(r.timed_out > 0);
+        assert_eq!(r.completed + r.timed_out, 100);
+        assert!(
+            r.response.max() <= 11.1e-3,
+            "serviced work stayed in deadline"
+        );
     }
 
     #[test]

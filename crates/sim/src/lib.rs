@@ -42,6 +42,7 @@ pub mod device;
 pub mod driver;
 pub mod event;
 pub mod fault;
+pub mod overload;
 pub mod profile;
 pub mod request;
 pub mod rng;
@@ -63,6 +64,7 @@ pub use event::{
     SimQueue,
 };
 pub use fault::{FaultClock, FaultEvent, FaultKind};
+pub use overload::OverloadPolicy;
 pub use profile::{ProfScope, Profiler, ScopeStats};
 pub use request::{Completion, IoKind, Request, RequestId};
 pub use sched::{DynScheduler, FifoScheduler, SchedCounters, Scheduler};

@@ -1,0 +1,113 @@
+//! Open-loop overload control: queue-depth admission watermarks and
+//! queue-time timeouts.
+//!
+//! An open-loop arrival process does not slow down when the device
+//! saturates — past the knee the scheduler queue grows without bound and
+//! response times diverge. [`OverloadPolicy`] gives the driver two classic
+//! production controls, both billed as **explicit outcomes** in the
+//! [`crate::SimReport`] (`shed` / `timed_out` counters plus tracer hooks)
+//! rather than silent drops:
+//!
+//! * **Shed watermarks with hysteresis**: once the queue depth reaches
+//!   `shed_high` at an arrival, the driver enters shedding mode and rejects
+//!   arrivals at admission until the depth has drained below `resume_low`.
+//!   The high/low split prevents flapping at the boundary — the policy
+//!   commits to shedding through the burst and re-admits only once the
+//!   backlog has genuinely cleared.
+//! * **Queue timeout**: a request that has waited longer than
+//!   `queue_timeout` when the scheduler elects it is abandoned instead of
+//!   serviced (the pick loop bills it and elects again). This models
+//!   initiator-side request expiry: the work was queued, aged out, and was
+//!   never worth dispatching.
+//!
+//! A driver with no policy attached takes none of these branches, and a
+//! policy whose watermark is never reached and whose timeout never fires is
+//! bit-identical to no policy at all (asserted by test).
+
+use crate::time::SimTime;
+
+/// Admission and expiry control for open-loop overload runs. Attach with
+/// [`crate::Driver::with_overload`].
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::{OverloadPolicy, SimTime};
+///
+/// // Shed above 256 queued requests, resume below 64, expire requests
+/// // that waited more than 250 ms.
+/// let policy = OverloadPolicy::watermarks(256, 64).with_queue_timeout(SimTime::from_ms(250.0));
+/// assert_eq!(policy.shed_high, 256);
+/// assert_eq!(policy.resume_low, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadPolicy {
+    /// Queue depth (before enqueue) at or above which arrivals are shed.
+    pub shed_high: usize,
+    /// Depth below which shedding stops (hysteresis; `resume_low <=
+    /// shed_high`).
+    pub resume_low: usize,
+    /// Maximum time a request may wait in the queue before the pick loop
+    /// abandons it instead of dispatching; `None` disables expiry.
+    pub queue_timeout: Option<SimTime>,
+}
+
+impl OverloadPolicy {
+    /// A policy that sheds at depth `shed_high` and resumes admission below
+    /// `resume_low`, with no queue timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resume_low > shed_high` or `shed_high == 0`.
+    pub fn watermarks(shed_high: usize, resume_low: usize) -> Self {
+        assert!(
+            shed_high > 0,
+            "shed watermark must admit at least one request"
+        );
+        assert!(
+            resume_low <= shed_high,
+            "hysteresis low watermark must not exceed the high watermark"
+        );
+        OverloadPolicy {
+            shed_high,
+            resume_low,
+            queue_timeout: None,
+        }
+    }
+
+    /// A policy that never sheds (watermark at `usize::MAX`) but expires
+    /// requests that queued longer than `timeout`.
+    pub fn timeout_only(timeout: SimTime) -> Self {
+        OverloadPolicy {
+            shed_high: usize::MAX,
+            resume_low: usize::MAX,
+            queue_timeout: Some(timeout),
+        }
+    }
+
+    /// Adds a queue timeout to this policy.
+    pub fn with_queue_timeout(mut self, timeout: SimTime) -> Self {
+        self.queue_timeout = Some(timeout);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate_watermarks() {
+        let p = OverloadPolicy::watermarks(100, 25);
+        assert_eq!(p.queue_timeout, None);
+        let t = OverloadPolicy::timeout_only(SimTime::from_ms(50.0));
+        assert_eq!(t.shed_high, usize::MAX);
+        assert_eq!(t.queue_timeout, Some(SimTime::from_ms(50.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn inverted_watermarks_panic() {
+        let _ = OverloadPolicy::watermarks(10, 20);
+    }
+}

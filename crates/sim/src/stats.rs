@@ -127,24 +127,55 @@ impl Welford {
 /// Response-time statistics retaining the full sample for percentiles.
 ///
 /// Values are stored in seconds (matching [`crate::SimTime::as_secs`]).
+///
+/// The default mode keeps every sample, so [`ResponseStats::percentile`]
+/// is exact — the right trade for figure cells of ~10⁵ requests. For
+/// streaming-scale runs (10⁷ requests and up) the retained vector is the
+/// dominant memory term; [`ResponseStats::streaming`] swaps it for a
+/// [`LogHistogram`] so memory stays O(bins) and percentiles come back as
+/// histogram quantiles (within ~12% of exact). The Welford moments —
+/// mean, variance, min/max, count — are bit-identical in both modes.
 #[derive(Debug, Clone, Default)]
 pub struct ResponseStats {
     welford: Welford,
     samples: Vec<f64>,
     sorted: bool,
+    histogram: Option<LogHistogram>,
 }
 
 impl ResponseStats {
-    /// Creates an empty collection.
+    /// Creates an empty collection retaining every sample (exact
+    /// percentiles).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty collection in constant-memory streaming mode:
+    /// samples feed a [`LogHistogram::response_times`] instead of a
+    /// retained vector, and [`ResponseStats::percentile`] answers from the
+    /// histogram.
+    pub fn streaming() -> Self {
+        ResponseStats {
+            histogram: Some(LogHistogram::response_times()),
+            ..Self::default()
+        }
+    }
+
+    /// Whether this collection was built with [`ResponseStats::streaming`].
+    pub fn is_streaming(&self) -> bool {
+        self.histogram.is_some()
     }
 
     /// Records one response time in seconds.
     pub fn push(&mut self, secs: f64) {
         self.welford.push(secs);
-        self.samples.push(secs);
-        self.sorted = false;
+        match self.histogram.as_mut() {
+            Some(h) => h.push(secs),
+            None => {
+                self.samples.push(secs);
+                self.sorted = false;
+            }
+        }
     }
 
     /// Number of samples.
@@ -178,13 +209,18 @@ impl ResponseStats {
     }
 
     /// Returns the `p`-quantile (0 ≤ p ≤ 1) by nearest-rank on the sorted
-    /// sample; zero when empty.
+    /// sample; zero when empty. In streaming mode the answer is the
+    /// [`LogHistogram`] quantile under the same nearest-rank convention,
+    /// good to within one log-spaced bin (~12%).
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn percentile(&mut self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if let Some(h) = self.histogram.as_ref() {
+            return h.quantile(p);
+        }
         if self.samples.is_empty() {
             return 0.0;
         }
@@ -541,6 +577,35 @@ mod tests {
     fn percentile_empty_is_zero() {
         let mut r = ResponseStats::new();
         assert_eq!(r.percentile(0.5), 0.0);
+        let mut s = ResponseStats::streaming();
+        assert_eq!(s.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn streaming_response_stats_match_welford_exactly() {
+        let xs = seeded_samples(0xABCD, 4000);
+        let mut exact = ResponseStats::new();
+        let mut streamed = ResponseStats::streaming();
+        for &x in &xs {
+            exact.push(x);
+            streamed.push(x);
+        }
+        assert!(streamed.is_streaming() && !exact.is_streaming());
+        // Moments are Welford-derived in both modes: identical bits.
+        assert_eq!(exact.count(), streamed.count());
+        assert_eq!(exact.mean().to_bits(), streamed.mean().to_bits());
+        assert_eq!(exact.std_dev().to_bits(), streamed.std_dev().to_bits());
+        assert_eq!(exact.max().to_bits(), streamed.max().to_bits());
+        // Percentiles agree to within one log-spaced bin.
+        let ratio = LogHistogram::response_times().bin_ratio();
+        for q in [0.5, 0.95, 0.99] {
+            let est = streamed.percentile(q);
+            let truth = exact.percentile(q);
+            assert!(
+                est / truth <= ratio * (1.0 + 1e-12) && truth / est <= ratio * (1.0 + 1e-12),
+                "q {q}: streaming {est} vs exact {truth}"
+            );
+        }
     }
 
     /// Deterministic pseudo-random response-time-like samples (seconds).

@@ -87,6 +87,18 @@ pub trait Tracer {
         let _ = (fault, now);
     }
 
+    /// An arrival was shed at admission by the overload policy at `now`
+    /// (`queue_depth` is the pending count that tripped the watermark).
+    fn on_shed(&mut self, req: &Request, now: SimTime, queue_depth: usize) {
+        let _ = (req, now, queue_depth);
+    }
+
+    /// A queued request aged past the overload policy's timeout and was
+    /// abandoned by the pick loop at `now` instead of being dispatched.
+    fn on_timeout(&mut self, req: &Request, now: SimTime) {
+        let _ = (req, now);
+    }
+
     /// One wall-clock scope completed in `wall_nanos` nanoseconds. Only
     /// called when [`Tracer::PROFILE`] is `true`.
     fn on_scope(&mut self, scope: ProfScope, wall_nanos: u64) {

@@ -18,8 +18,9 @@
 //! algorithms behave as they do under the random workload; the burstiness
 //! and locality here preserve exactly that comparison.
 
+use rand::rngs::SmallRng;
 use storage_sim::rng;
-use storage_sim::IoKind;
+use storage_sim::{IoKind, Request, SimTime, Workload};
 
 use crate::record::TraceRecord;
 
@@ -63,7 +64,158 @@ impl Default for CelloParams {
     }
 }
 
-/// Generates a Cello-like trace (sorted by arrival time).
+/// Constant-memory streaming Cello-like generator.
+///
+/// Produces exactly the same record sequence per `(params, seed)` as
+/// [`generate_cello`] — that function is now a thin `collect()` over this
+/// type — but holds only O(hot regions) state, so a 10⁷-request trace
+/// streams through the driver without ever existing as a vector.
+///
+/// Use it directly as a [`Workload`] (requests get dense ids from 0 and
+/// as-traced arrival times), as an `Iterator` of [`TraceRecord`]s, or
+/// behind [`crate::Replay`] to scale the arrival rate. `len_hint` is
+/// exact, so the driver's event-queue pre-sizing stays restructure-free.
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::Workload;
+/// use storage_trace::{CelloParams, CelloWorkload};
+///
+/// let mut w = CelloWorkload::new(&CelloParams::default(), 7);
+/// assert_eq!(w.len_hint(), Some(10_000));
+/// let first = w.next_request().unwrap();
+/// assert_eq!(first.id, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CelloWorkload {
+    params: CelloParams,
+    region_len: u64,
+    hot_starts: Vec<u64>,
+    rng: SmallRng,
+    remaining: u64,
+    clock: f64,
+    burst_left: u64,
+    seq_lbn: u64,
+    next_id: u64,
+}
+
+impl CelloWorkload {
+    /// Creates the generator. Draws the hot-region placement eagerly so
+    /// the record stream is a pure function of `(params, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters (capacity ≤ 1024, zero requests,
+    /// fractions outside `[0, 1]`).
+    pub fn new(params: &CelloParams, seed: u64) -> Self {
+        assert!(params.capacity > 1024 && params.requests > 0);
+        assert!((0.0..=1.0).contains(&params.read_fraction));
+        assert!((0.0..=1.0).contains(&params.hot_fraction));
+        assert!((0.0..=1.0).contains(&params.sequential_fraction));
+        let mut r = rng::seeded(seed);
+        // Hot regions: small slices scattered over the device (metadata at
+        // the front, swap in the middle, spool wherever the allocator put
+        // it). Each is 0.5% of the device.
+        let region_len = params.capacity / 200;
+        let hot_starts: Vec<u64> = (0..params.hot_regions)
+            .map(|_| rng::uniform_u64(&mut r, params.capacity - region_len))
+            .collect();
+        CelloWorkload {
+            params: params.clone(),
+            region_len,
+            hot_starts,
+            rng: r,
+            remaining: params.requests,
+            clock: 0.0,
+            burst_left: 0,
+            seq_lbn: 0,
+            next_id: 0,
+        }
+    }
+}
+
+impl Iterator for CelloWorkload {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let params = &self.params;
+        let r = &mut self.rng;
+        if self.burst_left == 0 {
+            self.clock += rng::exponential(r, params.inter_burst_gap);
+            self.burst_left = 1 + rng::exponential(r, params.burst_mean) as u64;
+        } else {
+            self.clock += rng::exponential(r, params.intra_burst_gap);
+        }
+        self.burst_left -= 1;
+
+        let sectors = match rng::uniform_u64(r, 10) {
+            0..=6 => 8u32,                                 // 4 KB fs block
+            7..=8 => 16,                                   // 8 KB block
+            _ => 32 * (1 + rng::uniform_u64(r, 4) as u32), // occasional big I/O
+        };
+        let lbn = if rng::bernoulli(r, params.sequential_fraction) && self.seq_lbn != 0 {
+            // Continue the current sequential run.
+            self.seq_lbn
+        } else if rng::bernoulli(r, params.hot_fraction) {
+            // Hot-region access, Zipf-skewed across the regions.
+            let region = rng::zipf(r, u64::from(params.hot_regions), 0.7) as usize;
+            self.hot_starts[region] + rng::uniform_u64(r, self.region_len)
+        } else {
+            // Cold uniform access.
+            rng::uniform_u64(r, params.capacity - 256)
+        };
+        let lbn = lbn.min(params.capacity - u64::from(sectors));
+        self.seq_lbn = lbn + u64::from(sectors);
+        if self.seq_lbn + 256 >= params.capacity {
+            self.seq_lbn = 0; // run hit the end of the device
+        }
+        let kind = if rng::bernoulli(r, params.read_fraction) {
+            IoKind::Read
+        } else {
+            IoKind::Write
+        };
+        Some(TraceRecord {
+            arrival: self.clock,
+            lbn,
+            sectors,
+            kind,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CelloWorkload {}
+
+impl Workload for CelloWorkload {
+    fn next_request(&mut self) -> Option<Request> {
+        let rec = Iterator::next(self)?;
+        let req = Request::new(
+            self.next_id,
+            SimTime::from_secs(rec.arrival),
+            rec.lbn,
+            rec.sectors,
+            rec.kind,
+        );
+        self.next_id += 1;
+        Some(req)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Generates a Cello-like trace (sorted by arrival time) by collecting
+/// [`CelloWorkload`]'s stream — byte-identical to the streaming path.
 ///
 /// # Examples
 ///
@@ -75,66 +227,7 @@ impl Default for CelloParams {
 /// assert!(trace.windows(2).all(|p| p[0].arrival <= p[1].arrival));
 /// ```
 pub fn generate_cello(params: &CelloParams, seed: u64) -> Vec<TraceRecord> {
-    assert!(params.capacity > 1024 && params.requests > 0);
-    assert!((0.0..=1.0).contains(&params.read_fraction));
-    assert!((0.0..=1.0).contains(&params.hot_fraction));
-    assert!((0.0..=1.0).contains(&params.sequential_fraction));
-    let mut r = rng::seeded(seed);
-    // Hot regions: small slices scattered over the device (metadata at
-    // the front, swap in the middle, spool wherever the allocator put
-    // it). Each is 0.5% of the device.
-    let region_len = params.capacity / 200;
-    let hot_starts: Vec<u64> = (0..params.hot_regions)
-        .map(|_| rng::uniform_u64(&mut r, params.capacity - region_len))
-        .collect();
-
-    let mut records = Vec::with_capacity(params.requests as usize);
-    let mut clock = 0.0f64;
-    let mut burst_left = 0u64;
-    let mut seq_lbn: u64 = 0;
-    for _ in 0..params.requests {
-        if burst_left == 0 {
-            clock += rng::exponential(&mut r, params.inter_burst_gap);
-            burst_left = 1 + rng::exponential(&mut r, params.burst_mean) as u64;
-        } else {
-            clock += rng::exponential(&mut r, params.intra_burst_gap);
-        }
-        burst_left -= 1;
-
-        let sectors = match rng::uniform_u64(&mut r, 10) {
-            0..=6 => 8u32,                                      // 4 KB fs block
-            7..=8 => 16,                                        // 8 KB block
-            _ => 32 * (1 + rng::uniform_u64(&mut r, 4) as u32), // occasional big I/O
-        };
-        let lbn = if rng::bernoulli(&mut r, params.sequential_fraction) && seq_lbn != 0 {
-            // Continue the current sequential run.
-            seq_lbn
-        } else if rng::bernoulli(&mut r, params.hot_fraction) {
-            // Hot-region access, Zipf-skewed across the regions.
-            let region = rng::zipf(&mut r, u64::from(params.hot_regions), 0.7) as usize;
-            hot_starts[region] + rng::uniform_u64(&mut r, region_len)
-        } else {
-            // Cold uniform access.
-            rng::uniform_u64(&mut r, params.capacity - 256)
-        };
-        let lbn = lbn.min(params.capacity - u64::from(sectors));
-        seq_lbn = lbn + u64::from(sectors);
-        if seq_lbn + 256 >= params.capacity {
-            seq_lbn = 0; // run hit the end of the device
-        }
-        let kind = if rng::bernoulli(&mut r, params.read_fraction) {
-            IoKind::Read
-        } else {
-            IoKind::Write
-        };
-        records.push(TraceRecord {
-            arrival: clock,
-            lbn,
-            sectors,
-            kind,
-        });
-    }
-    records
+    CelloWorkload::new(params, seed).collect()
 }
 
 /// Convenience: the default Cello-like trace for a device capacity.
@@ -234,5 +327,23 @@ mod tests {
             generate_cello(&CelloParams::default(), 5),
             generate_cello(&CelloParams::default(), 5)
         );
+    }
+
+    #[test]
+    fn streaming_workload_matches_materialized_replay() {
+        use crate::record::TraceWorkload;
+        let p = CelloParams::default();
+        for seed in [1u64, 9, 0x5EED] {
+            let mut streamed = CelloWorkload::new(&p, seed);
+            assert_eq!(streamed.len_hint(), Some(p.requests));
+            let mut replayed = TraceWorkload::new(generate_cello(&p, seed), 1.0);
+            let mut n = 0u64;
+            while let Some(want) = replayed.next_request() {
+                assert_eq!(streamed.next_request(), Some(want), "seed {seed} req {n}");
+                n += 1;
+            }
+            assert_eq!(streamed.next_request(), None);
+            assert_eq!(n, p.requests);
+        }
     }
 }

@@ -18,10 +18,19 @@
 //! (classical Zipf(0.99) block popularity, spatially scattered) and
 //! [`ShiftingHotspotWorkload`] (a contiguous hot span that relocates
 //! every epoch).
+//!
+//! Every generator is a **constant-memory stream**: the trace types
+//! ([`CelloWorkload`], [`TpccWorkload`], [`StreamingWorkload`]) are
+//! `Iterator<Item = TraceRecord>`s and `Workload`s at once, the
+//! `generate_*` functions are thin `collect()` wrappers over them, and
+//! [`Replay`] applies §4.3 arrival-rate scaling to any record stream
+//! without materializing it. [`RampWorkload`] adds the open-loop
+//! arrival-rate ramp used by the overload experiments.
 
 #![warn(missing_docs)]
 
 pub mod cello;
+pub mod ramp;
 pub mod random;
 pub mod record;
 pub mod streaming;
@@ -29,10 +38,11 @@ pub mod summary;
 pub mod tpcc;
 pub mod zipf;
 
-pub use cello::{cello_for_capacity, generate_cello, CelloParams};
+pub use cello::{cello_for_capacity, generate_cello, CelloParams, CelloWorkload};
+pub use ramp::RampWorkload;
 pub use random::RandomWorkload;
-pub use record::{format_trace, parse_trace, TraceRecord, TraceWorkload};
-pub use streaming::{generate_streaming, StreamingParams};
+pub use record::{format_trace, parse_trace, Replay, TraceRecord, TraceWorkload};
+pub use streaming::{generate_streaming, StreamingParams, StreamingWorkload};
 pub use summary::TraceSummary;
-pub use tpcc::{generate_tpcc, tpcc_for_capacity, TpccParams};
+pub use tpcc::{generate_tpcc, tpcc_for_capacity, TpccParams, TpccWorkload};
 pub use zipf::{ShiftingHotspotWorkload, ZipfWorkload, FRAGMENTS};

@@ -167,6 +167,87 @@ impl Workload for TraceWorkload {
         self.next_id += 1;
         Some(req)
     }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.records.len() as u64)
+    }
+}
+
+/// Replays any stream of [`TraceRecord`]s as a workload without
+/// materializing them — the streaming counterpart of [`TraceWorkload`].
+///
+/// The source is an ordinary `Iterator` (every generator in this crate —
+/// [`crate::CelloWorkload`], [`crate::TpccWorkload`],
+/// [`crate::StreamingWorkload`] — yields its records this way), and the
+/// `ExactSizeIterator` bound keeps `len_hint` exact so the driver's event
+/// queue pre-sizing holds at any trace length. Interarrival times are
+/// divided by `scale`, exactly as [`TraceWorkload`] does (§4.3).
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::Workload;
+/// use storage_trace::{CelloParams, CelloWorkload, Replay};
+///
+/// let source = CelloWorkload::new(&CelloParams::default(), 7);
+/// let mut workload = Replay::new(source, 2.0);
+/// assert_eq!(workload.len_hint(), Some(10_000));
+/// assert!(workload.next_request().is_some());
+/// ```
+#[derive(Debug)]
+pub struct Replay<I> {
+    records: I,
+    scale: f64,
+    next_id: u64,
+    last_arrival: f64,
+}
+
+impl<I> Replay<I>
+where
+    I: Iterator<Item = TraceRecord> + ExactSizeIterator,
+{
+    /// Creates a streaming replay of `records` at the given scale factor.
+    /// Arrival-time ordering is asserted as records stream through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(records: I, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale factor must be positive");
+        Replay {
+            records,
+            scale,
+            next_id: 0,
+            last_arrival: 0.0,
+        }
+    }
+}
+
+impl<I> Workload for Replay<I>
+where
+    I: Iterator<Item = TraceRecord> + ExactSizeIterator,
+{
+    fn next_request(&mut self) -> Option<Request> {
+        let rec = self.records.next()?;
+        assert!(
+            rec.arrival >= self.last_arrival,
+            "trace must be sorted by arrival time"
+        );
+        self.last_arrival = rec.arrival;
+        let req = Request::new(
+            self.next_id,
+            SimTime::from_secs(rec.arrival / self.scale),
+            rec.lbn,
+            rec.sectors,
+            rec.kind,
+        );
+        self.next_id += 1;
+        Some(req)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.records.len() as u64)
+    }
 }
 
 #[cfg(test)]

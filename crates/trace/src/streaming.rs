@@ -7,8 +7,9 @@
 //! Useful for exercising layouts, readahead, and striped arrays under
 //! bandwidth-bound conditions.
 
+use rand::rngs::SmallRng;
 use storage_sim::rng;
-use storage_sim::IoKind;
+use storage_sim::{IoKind, Request, SimTime, Workload};
 
 use crate::record::TraceRecord;
 
@@ -43,13 +44,186 @@ impl Default for StreamingParams {
     }
 }
 
-/// Generates a streaming trace (sorted by arrival time).
+/// ~50 MB files at 256 KB chunks.
+const FILE_CHUNKS: u64 = 200;
+
+/// Constant-memory streaming generator for the media-server workload.
 ///
 /// Each stream starts at a random extent and reads forward; when it
 /// reaches the end of its extent it seeks to a new random location (a
 /// new file). Streams progress concurrently, so the interleaved request
 /// sequence alternates between them — the pattern that defeats naive
 /// single-stream readahead but rewards per-stream detection.
+///
+/// State is O(streams): the earliest-deadline scan that the materialized
+/// generator ran per iteration happens per pull instead, and the optional
+/// metadata record that precedes a chunk is held in a one-record pending
+/// slot. The emitted sequence per `(params, seed)` is byte-identical to
+/// [`generate_streaming`] (now a `collect()` over this type): deadlines
+/// only move forward, so emission order is already sorted and the
+/// materialized path's trailing sort is a stable no-op. `len_hint` is
+/// exact — the request budget cuts the stream off exactly where
+/// `truncate` did.
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::Workload;
+/// use storage_trace::{StreamingParams, StreamingWorkload};
+///
+/// let mut w = StreamingWorkload::new(&StreamingParams::default(), 3);
+/// assert_eq!(w.len_hint(), Some(10_000));
+/// assert!(w.next_request().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingWorkload {
+    params: StreamingParams,
+    rng: SmallRng,
+    /// Per-stream state: (next arrival time, current position, chunks
+    /// left in the current file).
+    streams: Vec<(f64, u64, u64)>,
+    /// Chunk record deferred behind a same-arrival metadata record.
+    pending: Option<TraceRecord>,
+    remaining: u64,
+    next_id: u64,
+}
+
+impl StreamingWorkload {
+    /// Creates the generator; the initial per-stream positions are drawn
+    /// eagerly so the stream is a pure function of `(params, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero streams/requests, a non-positive consumption rate,
+    /// a metadata fraction outside `[0, 1)`, or a device smaller than 100
+    /// chunks.
+    pub fn new(params: &StreamingParams, seed: u64) -> Self {
+        assert!(params.streams > 0 && params.requests > 0);
+        assert!(params.chunks_per_second > 0.0);
+        assert!((0.0..1.0).contains(&params.metadata_fraction));
+        let chunk = u64::from(params.chunk_sectors);
+        assert!(
+            params.capacity > chunk * 100,
+            "device too small for streaming"
+        );
+        let mut r = rng::seeded(seed);
+        let streams: Vec<(f64, u64, u64)> = (0..params.streams)
+            .map(|i| {
+                let pos = rng::uniform_u64(&mut r, params.capacity - chunk * FILE_CHUNKS);
+                (
+                    f64::from(i) / (params.chunks_per_second * f64::from(params.streams)),
+                    pos,
+                    FILE_CHUNKS,
+                )
+            })
+            .collect();
+        StreamingWorkload {
+            params: params.clone(),
+            rng: r,
+            streams,
+            pending: None,
+            remaining: params.requests,
+            next_id: 0,
+        }
+    }
+}
+
+impl Iterator for StreamingWorkload {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if let Some(rec) = self.pending.take() {
+            return Some(rec);
+        }
+        let params = &self.params;
+        let r = &mut self.rng;
+        let chunk = u64::from(params.chunk_sectors);
+        // The next event is the stream with the earliest deadline.
+        let (idx, _) = self
+            .streams
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("times are finite"))
+            .expect("streams is non-empty");
+        let (t, pos, left) = self.streams[idx];
+        let metadata = if rng::bernoulli(r, params.metadata_fraction) {
+            // Metadata access near the front of the device.
+            let lbn = rng::uniform_u64(r, params.capacity / 100);
+            Some(TraceRecord {
+                arrival: t,
+                lbn,
+                sectors: 8,
+                kind: IoKind::Read,
+            })
+        } else {
+            None
+        };
+        let chunk_rec = TraceRecord {
+            arrival: t,
+            lbn: pos,
+            sectors: params.chunk_sectors,
+            kind: IoKind::Read,
+        };
+        // Advance the stream.
+        let (new_pos, new_left) = if left > 1 {
+            (pos + chunk, left - 1)
+        } else {
+            (
+                rng::uniform_u64(r, params.capacity - chunk * FILE_CHUNKS),
+                FILE_CHUNKS,
+            )
+        };
+        // Slight jitter around the consumption period.
+        let period = 1.0 / params.chunks_per_second;
+        let jitter = rng::exponential(r, period * 0.05);
+        self.streams[idx] = (t + period + jitter - period * 0.05, new_pos, new_left);
+        match metadata {
+            Some(meta) => {
+                // Metadata precedes the chunk at the same arrival; the
+                // chunk waits in the pending slot (and is dropped at the
+                // request budget, exactly like the materialized truncate).
+                self.pending = Some(chunk_rec);
+                Some(meta)
+            }
+            None => Some(chunk_rec),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for StreamingWorkload {}
+
+impl Workload for StreamingWorkload {
+    fn next_request(&mut self) -> Option<Request> {
+        let rec = Iterator::next(self)?;
+        let req = Request::new(
+            self.next_id,
+            SimTime::from_secs(rec.arrival),
+            rec.lbn,
+            rec.sectors,
+            rec.kind,
+        );
+        self.next_id += 1;
+        Some(req)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Generates a streaming trace (sorted by arrival time) by collecting
+/// [`StreamingWorkload`]'s stream — byte-identical to the streaming path
+/// (the trailing sort is retained for belt and braces but deadlines only
+/// move forward, so it is a stable no-op).
 ///
 /// # Examples
 ///
@@ -62,69 +236,7 @@ impl Default for StreamingParams {
 /// assert!(t.iter().filter(|r| r.sectors == 512).count() > 8_000);
 /// ```
 pub fn generate_streaming(params: &StreamingParams, seed: u64) -> Vec<TraceRecord> {
-    assert!(params.streams > 0 && params.requests > 0);
-    assert!(params.chunks_per_second > 0.0);
-    assert!((0.0..1.0).contains(&params.metadata_fraction));
-    let chunk = u64::from(params.chunk_sectors);
-    assert!(
-        params.capacity > chunk * 100,
-        "device too small for streaming"
-    );
-    let mut r = rng::seeded(seed);
-    // Per-stream state: (next arrival time, current position, chunks
-    // left in the current file).
-    let file_chunks = 200u64; // ~50 MB files at 256 KB chunks
-    let mut streams: Vec<(f64, u64, u64)> = (0..params.streams)
-        .map(|i| {
-            let pos = rng::uniform_u64(&mut r, params.capacity - chunk * file_chunks);
-            (
-                f64::from(i) / (params.chunks_per_second * f64::from(params.streams)),
-                pos,
-                file_chunks,
-            )
-        })
-        .collect();
-
-    let mut records = Vec::with_capacity(params.requests as usize);
-    while records.len() < params.requests as usize {
-        // The next event is the stream with the earliest deadline.
-        let (idx, _) = streams
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("times are finite"))
-            .expect("streams is non-empty");
-        let (t, pos, left) = streams[idx];
-        if rng::bernoulli(&mut r, params.metadata_fraction) {
-            // Metadata access near the front of the device.
-            let lbn = rng::uniform_u64(&mut r, params.capacity / 100);
-            records.push(TraceRecord {
-                arrival: t,
-                lbn,
-                sectors: 8,
-                kind: IoKind::Read,
-            });
-        }
-        records.push(TraceRecord {
-            arrival: t,
-            lbn: pos,
-            sectors: params.chunk_sectors,
-            kind: IoKind::Read,
-        });
-        // Advance the stream.
-        let (new_pos, new_left) = if left > 1 {
-            (pos + chunk, left - 1)
-        } else {
-            (
-                rng::uniform_u64(&mut r, params.capacity - chunk * file_chunks),
-                file_chunks,
-            )
-        };
-        // Slight jitter around the consumption period.
-        let period = 1.0 / params.chunks_per_second;
-        let jitter = rng::exponential(&mut r, period * 0.05);
-        streams[idx] = (t + period + jitter - period * 0.05, new_pos, new_left);
-    }
-    records.truncate(params.requests as usize);
+    let mut records: Vec<TraceRecord> = StreamingWorkload::new(params, seed).collect();
     records.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
     records
 }
@@ -200,5 +312,24 @@ mod tests {
             generate_streaming(&StreamingParams::default(), 7),
             generate_streaming(&StreamingParams::default(), 7)
         );
+    }
+
+    #[test]
+    fn streaming_workload_matches_materialized_replay() {
+        use crate::record::TraceWorkload;
+        use storage_sim::Workload;
+        let p = StreamingParams::default();
+        for seed in [1u64, 3, 0x57E4] {
+            let mut streamed = StreamingWorkload::new(&p, seed);
+            assert_eq!(streamed.len_hint(), Some(p.requests));
+            // The materialized path sorts after collecting; equality here
+            // proves the emission order was already sorted (stable no-op)
+            // and the request budget reproduces the truncate cut.
+            let mut replayed = TraceWorkload::new(generate_streaming(&p, seed), 1.0);
+            while let Some(want) = replayed.next_request() {
+                assert_eq!(streamed.next_request(), Some(want), "seed {seed}");
+            }
+            assert_eq!(streamed.next_request(), None);
+        }
     }
 }

@@ -6,8 +6,15 @@
 //! so synthetic generators can be validated against published trace
 //! descriptions (that is exactly how the Cello-like and TPC-C-like
 //! generators in this crate were calibrated).
+//!
+//! The computation is a single streaming pass ([`TraceSummary::from_stream`])
+//! over O(1) state — a Welford accumulator for interarrival moments, a
+//! log-spaced histogram for interarrival tails, and a fixed 100-bucket
+//! locality map — so a 10⁷-request generator stream can be characterized
+//! without ever materializing a `Vec<TraceRecord>`.
+//! [`TraceSummary::compute`] is the slice convenience over the same pass.
 
-use storage_sim::IoKind;
+use storage_sim::{IoKind, LogHistogram, Welford};
 
 use crate::record::TraceRecord;
 
@@ -23,6 +30,9 @@ pub struct TraceSummary {
     /// Squared coefficient of variation of interarrival times (1 ≈
     /// Poisson; larger = bursty).
     pub interarrival_cv2: f64,
+    /// 99th-percentile interarrival gap, seconds (log-histogram estimate,
+    /// within ~12%): the think-time tail that separates bursts.
+    pub interarrival_p99: f64,
     /// Fraction of requests that are reads.
     pub read_fraction: f64,
     /// Mean request size, sectors.
@@ -41,47 +51,77 @@ pub struct TraceSummary {
 
 impl TraceSummary {
     /// Computes the summary of `records` against a device of `capacity`
-    /// sectors.
+    /// sectors. Convenience over [`TraceSummary::from_stream`].
     ///
     /// # Panics
     ///
     /// Panics if the trace is empty or `capacity` is zero.
     pub fn compute(records: &[TraceRecord], capacity: u64) -> Self {
-        assert!(!records.is_empty(), "empty trace");
+        Self::from_stream(records.iter().copied(), capacity)
+    }
+
+    /// Computes the summary in one streaming pass over any record
+    /// iterator — every generator in this crate yields its records this
+    /// way, so arbitrarily long traces summarize in O(1) memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is empty or `capacity` is zero.
+    pub fn from_stream<I: IntoIterator<Item = TraceRecord>>(records: I, capacity: u64) -> Self {
         assert!(capacity > 0);
-        let requests = records.len() as u64;
-        let duration = records.last().expect("non-empty").arrival - records[0].arrival;
-
-        // Interarrival statistics.
-        let gaps: Vec<f64> = records
-            .windows(2)
-            .map(|p| p[1].arrival - p[0].arrival)
-            .collect();
-        let (cv2, rate) = if gaps.is_empty() || duration <= 0.0 {
-            (0.0, 0.0)
-        } else {
-            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
-            (var / (mean * mean), (requests - 1) as f64 / duration)
-        };
-
-        let reads = records.iter().filter(|r| r.kind == IoKind::Read).count();
-        let total_sectors: u64 = records.iter().map(|r| u64::from(r.sectors)).sum();
-        let max_sectors = records.iter().map(|r| r.sectors).max().expect("non-empty");
-
-        let sequential = records
-            .windows(2)
-            .filter(|p| p[1].lbn == p[0].lbn + u64::from(p[0].sectors))
-            .count();
 
         // Locality over 100 equal buckets.
         let buckets = 100u64;
         let bucket_size = capacity.div_ceil(buckets);
         let mut mass = vec![0u64; buckets as usize];
-        for r in records {
+
+        // Interarrival gaps: Welford for mean/cv², a 1 µs-origin
+        // log-spaced histogram for the tail.
+        let mut gaps = Welford::new();
+        let mut gap_hist = LogHistogram::new(1e-6, 20);
+
+        let mut requests = 0u64;
+        let mut reads = 0u64;
+        let mut total_sectors = 0u64;
+        let mut max_sectors = 0u32;
+        let mut sequential = 0u64;
+        let mut first_arrival = 0.0f64;
+        let mut prev: Option<TraceRecord> = None;
+        for r in records.into_iter() {
+            match &prev {
+                Some(p) => {
+                    let gap = r.arrival - p.arrival;
+                    gaps.push(gap);
+                    gap_hist.push(gap);
+                    if r.lbn == p.lbn + u64::from(p.sectors) {
+                        sequential += 1;
+                    }
+                }
+                None => first_arrival = r.arrival,
+            }
+            requests += 1;
+            if r.kind == IoKind::Read {
+                reads += 1;
+            }
+            total_sectors += u64::from(r.sectors);
+            max_sectors = max_sectors.max(r.sectors);
             let b = (r.lbn / bucket_size).min(buckets - 1) as usize;
             mass[b] += u64::from(r.sectors);
+            prev = Some(r);
         }
+        assert!(requests > 0, "empty trace");
+        let duration = prev.expect("non-empty").arrival - first_arrival;
+
+        let (cv2, rate, p99) = if requests < 2 || duration <= 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                gaps.sq_coeff_var(),
+                (requests - 1) as f64 / duration,
+                gap_hist.quantile(0.99),
+            )
+        };
+
         let mut sorted = mass.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         let top_decile: u64 = sorted.iter().take(10).sum();
@@ -92,11 +132,12 @@ impl TraceSummary {
             duration,
             arrival_rate: rate,
             interarrival_cv2: cv2,
+            interarrival_p99: p99,
             read_fraction: reads as f64 / requests as f64,
             mean_sectors: total_sectors as f64 / requests as f64,
             max_sectors,
-            sequential_fraction: if records.len() > 1 {
-                sequential as f64 / (records.len() - 1) as f64
+            sequential_fraction: if requests > 1 {
+                sequential as f64 / (requests - 1) as f64
             } else {
                 0.0
             },
@@ -116,6 +157,7 @@ impl TraceSummary {
              duration            {:.1} s\n\
              arrival rate        {:.1} req/s\n\
              interarrival cv^2   {:.2}\n\
+             interarrival p99    {:.1} ms\n\
              read fraction       {:.1}%\n\
              mean request size   {:.1} sectors ({:.1} KB)\n\
              max request size    {} sectors\n\
@@ -126,6 +168,7 @@ impl TraceSummary {
             self.duration,
             self.arrival_rate,
             self.interarrival_cv2,
+            self.interarrival_p99 * 1e3,
             self.read_fraction * 100.0,
             self.mean_sectors,
             self.mean_sectors / 2.0,
@@ -140,7 +183,7 @@ impl TraceSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cello::{generate_cello, CelloParams};
+    use crate::cello::{generate_cello, CelloParams, CelloWorkload};
     use crate::tpcc::{generate_tpcc, TpccParams};
 
     fn uniform_trace(n: u64, capacity: u64) -> Vec<TraceRecord> {
@@ -170,6 +213,8 @@ mod tests {
         // Uniform: busiest 10% of buckets hold ≈10-13% of mass.
         assert!(s.top_decile_mass < 0.15, "mass {}", s.top_decile_mass);
         assert!(s.footprint > 0.99);
+        // Constant 10 ms gaps: the p99 estimate sits within one bin.
+        assert!((9e-3..11.5e-3).contains(&s.interarrival_p99));
     }
 
     #[test]
@@ -185,6 +230,8 @@ mod tests {
         assert!((0.40..0.50).contains(&s.read_fraction), "write-majority");
         assert!(s.sequential_fraction > 0.1, "sequential runs exist");
         assert!(s.top_decile_mass > 0.4, "hot regions dominate");
+        // Bursty arrivals: the p99 gap dwarfs the mean gap.
+        assert!(s.interarrival_p99 > 3.0 / s.arrival_rate);
     }
 
     #[test]
@@ -201,10 +248,21 @@ mod tests {
     }
 
     #[test]
+    fn streamed_summary_equals_slice_summary() {
+        // One pass over the generator stream, no Vec<TraceRecord> — must
+        // equal the slice path field for field (same single-pass core).
+        let p = CelloParams::default();
+        let streamed = TraceSummary::from_stream(CelloWorkload::new(&p, 5), p.capacity);
+        let sliced = TraceSummary::compute(&generate_cello(&p, 5), p.capacity);
+        assert_eq!(streamed, sliced);
+    }
+
+    #[test]
     fn render_contains_key_lines() {
         let t = uniform_trace(100, 10_000);
         let text = TraceSummary::compute(&t, 10_000).render();
         assert!(text.contains("arrival rate"));
+        assert!(text.contains("interarrival p99"));
         assert!(text.contains("sequential fraction"));
     }
 

@@ -17,8 +17,9 @@
 //! with Zipf skew in 8 KB pages (2:1 read/write), plus an append-only log
 //! region receiving sequential 2–16 KB writes.
 
+use rand::rngs::SmallRng;
 use storage_sim::rng;
-use storage_sim::IoKind;
+use storage_sim::{IoKind, Request, SimTime, Workload};
 
 use crate::record::TraceRecord;
 
@@ -56,7 +57,146 @@ impl Default for TpccParams {
     }
 }
 
-/// Generates a TPC-C-like trace (sorted by arrival time).
+/// Constant-memory streaming TPC-C-like generator.
+///
+/// Produces exactly the record sequence of [`generate_tpcc`] per
+/// `(params, seed)` — that function is now a `collect()` over this type —
+/// while holding O(1) state (clock, log head, RNG). Usable directly as a
+/// [`Workload`] (dense ids from 0, as-traced arrivals), as an `Iterator`
+/// of [`TraceRecord`]s, or behind [`crate::Replay`] for rate scaling;
+/// `len_hint` is exact.
+///
+/// # Examples
+///
+/// ```
+/// use storage_sim::Workload;
+/// use storage_trace::{TpccParams, TpccWorkload};
+///
+/// let mut w = TpccWorkload::new(&TpccParams::default(), 11);
+/// assert_eq!(w.len_hint(), Some(10_000));
+/// assert!(w.next_request().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TpccWorkload {
+    params: TpccParams,
+    extent_len: u64,
+    log_start: u64,
+    log_len: u64,
+    rng: SmallRng,
+    remaining: u64,
+    clock: f64,
+    log_head: u64,
+    next_id: u64,
+}
+
+impl TpccWorkload {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database (plus the 2% log region) does not fit the
+    /// capacity, or on zero requests / non-positive interarrival.
+    pub fn new(params: &TpccParams, seed: u64) -> Self {
+        assert!(params.database_sectors < params.capacity);
+        assert!(params.requests > 0 && params.mean_interarrival > 0.0);
+        let r = rng::seeded(seed);
+        // The database occupies a contiguous region at the front of the
+        // device (as a striped SQL Server data file would); the log lives
+        // right after it.
+        let extent_len = params.database_sectors / u64::from(params.hot_extents);
+        let log_start = params.database_sectors;
+        let log_len = params.capacity / 50; // 2% of the device for the log
+        assert!(log_start + log_len < params.capacity);
+        TpccWorkload {
+            params: params.clone(),
+            extent_len,
+            log_start,
+            log_len,
+            rng: r,
+            remaining: params.requests,
+            clock: 0.0,
+            log_head: log_start,
+            next_id: 0,
+        }
+    }
+}
+
+impl Iterator for TpccWorkload {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let params = &self.params;
+        let r = &mut self.rng;
+        let db_start = 0u64;
+        self.clock += rng::exponential(r, params.mean_interarrival);
+        let rec = if rng::bernoulli(r, params.log_fraction) {
+            // Sequential log append: 2–16 KB.
+            let sectors = 4 * (1 + rng::uniform_u64(r, 8)) as u32;
+            if self.log_head + u64::from(sectors) >= self.log_start + self.log_len {
+                self.log_head = self.log_start; // circular log
+            }
+            let rec = TraceRecord {
+                arrival: self.clock,
+                lbn: self.log_head,
+                sectors,
+                kind: IoKind::Write,
+            };
+            self.log_head += u64::from(sectors);
+            rec
+        } else {
+            // 8 KB page access to a Zipf-hot extent, Zipf-skewed within
+            // the extent as well (B-tree roots and hot rows).
+            let extent = rng::zipf(r, u64::from(params.hot_extents), 0.75);
+            let offset = rng::zipf(r, self.extent_len - 16, 0.65);
+            let lbn = db_start + extent * self.extent_len + offset;
+            let kind = if rng::bernoulli(r, params.read_fraction) {
+                IoKind::Read
+            } else {
+                IoKind::Write
+            };
+            TraceRecord {
+                arrival: self.clock,
+                lbn,
+                sectors: 16,
+                kind,
+            }
+        };
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TpccWorkload {}
+
+impl Workload for TpccWorkload {
+    fn next_request(&mut self) -> Option<Request> {
+        let rec = Iterator::next(self)?;
+        let req = Request::new(
+            self.next_id,
+            SimTime::from_secs(rec.arrival),
+            rec.lbn,
+            rec.sectors,
+            rec.kind,
+        );
+        self.next_id += 1;
+        Some(req)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Generates a TPC-C-like trace (sorted by arrival time) by collecting
+/// [`TpccWorkload`]'s stream — byte-identical to the streaming path.
 ///
 /// # Examples
 ///
@@ -69,58 +209,7 @@ impl Default for TpccParams {
 /// assert!(trace.iter().filter(|r| r.sectors == 16).count() > 7_000);
 /// ```
 pub fn generate_tpcc(params: &TpccParams, seed: u64) -> Vec<TraceRecord> {
-    assert!(params.database_sectors < params.capacity);
-    assert!(params.requests > 0 && params.mean_interarrival > 0.0);
-    let mut r = rng::seeded(seed);
-    // The database occupies a contiguous region at the front of the
-    // device (as a striped SQL Server data file would); the log lives
-    // right after it.
-    let db_start = 0u64;
-    let extent_len = params.database_sectors / u64::from(params.hot_extents);
-    let log_start = params.database_sectors;
-    let log_len = params.capacity / 50; // 2% of the device for the log
-    assert!(log_start + log_len < params.capacity);
-
-    let mut records = Vec::with_capacity(params.requests as usize);
-    let mut clock = 0.0f64;
-    let mut log_head = log_start;
-    for _ in 0..params.requests {
-        clock += rng::exponential(&mut r, params.mean_interarrival);
-        let rec = if rng::bernoulli(&mut r, params.log_fraction) {
-            // Sequential log append: 2–16 KB.
-            let sectors = 4 * (1 + rng::uniform_u64(&mut r, 8)) as u32;
-            if log_head + u64::from(sectors) >= log_start + log_len {
-                log_head = log_start; // circular log
-            }
-            let rec = TraceRecord {
-                arrival: clock,
-                lbn: log_head,
-                sectors,
-                kind: IoKind::Write,
-            };
-            log_head += u64::from(sectors);
-            rec
-        } else {
-            // 8 KB page access to a Zipf-hot extent, Zipf-skewed within
-            // the extent as well (B-tree roots and hot rows).
-            let extent = rng::zipf(&mut r, u64::from(params.hot_extents), 0.75);
-            let offset = rng::zipf(&mut r, extent_len - 16, 0.65);
-            let lbn = db_start + extent * extent_len + offset;
-            let kind = if rng::bernoulli(&mut r, params.read_fraction) {
-                IoKind::Read
-            } else {
-                IoKind::Write
-            };
-            TraceRecord {
-                arrival: clock,
-                lbn,
-                sectors: 16,
-                kind,
-            }
-        };
-        records.push(rec);
-    }
-    records
+    TpccWorkload::new(params, seed).collect()
 }
 
 /// Convenience: the default TPC-C-like trace for a device capacity, with
@@ -231,5 +320,20 @@ mod tests {
             generate_tpcc(&TpccParams::default(), 9),
             generate_tpcc(&TpccParams::default(), 9)
         );
+    }
+
+    #[test]
+    fn streaming_workload_matches_materialized_replay() {
+        use crate::record::TraceWorkload;
+        let p = TpccParams::default();
+        for seed in [2u64, 11, 0x7CC] {
+            let mut streamed = TpccWorkload::new(&p, seed);
+            assert_eq!(streamed.len_hint(), Some(p.requests));
+            let mut replayed = TraceWorkload::new(generate_tpcc(&p, seed), 1.0);
+            while let Some(want) = replayed.next_request() {
+                assert_eq!(streamed.next_request(), Some(want), "seed {seed}");
+            }
+            assert_eq!(streamed.next_request(), None);
+        }
     }
 }

@@ -27,8 +27,9 @@ use storage_sim::rng;
 use storage_sim::{IoKind, Request, SimTime, Workload};
 
 /// Draws kind and size with the §3 envelope (67% reads, exponential
-/// 4 KB sizes capped at 16× the mean).
-fn kind_and_sectors(rng: &mut SmallRng) -> (IoKind, u32) {
+/// 4 KB sizes capped at 16× the mean). Shared with the ramp generator so
+/// overload cells differ from the steady-state cells only in arrival rate.
+pub(crate) fn kind_and_sectors(rng: &mut SmallRng) -> (IoKind, u32) {
     let kind = if rng::bernoulli(rng, 0.67) {
         IoKind::Read
     } else {

@@ -52,6 +52,7 @@ fn engine<D: StorageDevice>(
             threads,
             epoch: SimTime::from_ms(10.0),
             warmup_requests: 0,
+            ..FleetConfig::default()
         },
     )
 }
